@@ -1,0 +1,223 @@
+package cycledetect
+
+// One benchmark per reproduced table/figure (E1–E12, see DESIGN.md and
+// EXPERIMENTS.md), plus micro-benchmarks of the hot paths. Each experiment
+// benchmark runs the corresponding harness experiment in quick mode and
+// aborts on claim violations, so `go test -bench=.` doubles as a
+// reproduction run.
+
+import (
+	"fmt"
+	"testing"
+
+	"cycledetect/internal/bench"
+	"cycledetect/internal/central"
+	"cycledetect/internal/combin"
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/wire"
+	"cycledetect/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, run func(bench.Config) *bench.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := run(bench.Config{Seed: uint64(i + 1), Quick: true})
+		if tbl.Violations != 0 {
+			b.Fatalf("claim violations:\n%s", tbl.Format())
+		}
+	}
+}
+
+func BenchmarkE1RoundComplexity(b *testing.B) { benchExperiment(b, bench.RunE1) }
+func BenchmarkE2MessageBound(b *testing.B)    { benchExperiment(b, bench.RunE2) }
+func BenchmarkE3OneSided(b *testing.B)        { benchExperiment(b, bench.RunE3) }
+func BenchmarkE4Detection(b *testing.B)       { benchExperiment(b, bench.RunE4) }
+func BenchmarkE5RankCollision(b *testing.B)   { benchExperiment(b, bench.RunE5) }
+func BenchmarkE6Packing(b *testing.B)         { benchExperiment(b, bench.RunE6) }
+func BenchmarkE7Fig1Trace(b *testing.B)       { benchExperiment(b, bench.RunE7) }
+func BenchmarkE8PruningAblation(b *testing.B) { benchExperiment(b, bench.RunE8) }
+func BenchmarkE9SingleCycle(b *testing.B)     { benchExperiment(b, bench.RunE9) }
+func BenchmarkE10Bandwidth(b *testing.B)      { benchExperiment(b, bench.RunE10) }
+func BenchmarkE11Comparison(b *testing.B)     { benchExperiment(b, bench.RunE11) }
+func BenchmarkE12RoundProfile(b *testing.B)   { benchExperiment(b, bench.RunE12) }
+
+// BenchmarkTesterByK measures one full repetition of the tester across k on
+// a fixed 256-node network — the per-repetition cost that Theorem 1
+// multiplies by ⌈(e²/ε)ln3⌉.
+func BenchmarkTesterByK(b *testing.B) {
+	rng := xrand.New(1)
+	g := graph.ConnectedGNM(256, 1024, rng)
+	for _, k := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog := &core.Tester{K: k, Reps: 1}
+				if _, err := congest.Run(g, prog, congest.Config{Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginesCompare contrasts the lockstep and the goroutine/channel
+// engines on identical workloads.
+func BenchmarkEnginesCompare(b *testing.B) {
+	rng := xrand.New(2)
+	g := graph.ConnectedGNM(128, 512, rng)
+	prog := &core.Tester{K: 6, Reps: 2}
+	b.Run("bsp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := congest.Run(g, prog, congest.Config{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("channels", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := congest.RunChannels(g, prog, congest.Config{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPruning measures the representative-selection hot path at the
+// worst realistic fan-in.
+func BenchmarkPruning(b *testing.B) {
+	rng := xrand.New(3)
+	for _, cfg := range []struct{ lists, p, q int }{
+		{32, 2, 4}, {128, 3, 4}, {512, 3, 5},
+	} {
+		name := fmt.Sprintf("lists=%d_p=%d_q=%d", cfg.lists, cfg.p, cfg.q)
+		lists := make([][]int64, cfg.lists)
+		for i := range lists {
+			seen := map[int64]bool{}
+			for len(lists[i]) < cfg.p {
+				x := int64(rng.Intn(64))
+				if !seen[x] {
+					seen[x] = true
+					lists[i] = append(lists[i], x)
+				}
+			}
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				combin.Representatives(lists, cfg.q)
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec measures message encode/decode throughput.
+func BenchmarkWireCodec(b *testing.B) {
+	c := &wire.Check{U: 12345, V: 67890, Rank: 1 << 40}
+	for i := 0; i < 16; i++ {
+		c.Seqs = append(c.Seqs, []int64{int64(i), int64(i * 31), int64(i * 1024), int64(i * 65536)})
+	}
+	payload := wire.EncodeCheck(c)
+	b.Run("encode", func(b *testing.B) {
+		b.ReportMetric(float64(len(payload)), "bytes/msg")
+		for i := 0; i < b.N; i++ {
+			wire.EncodeCheck(c)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeCheck(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCentralOracle measures the ground-truth oracle used by the test
+// suite, for scale context.
+func BenchmarkCentralOracle(b *testing.B) {
+	rng := xrand.New(4)
+	g := graph.ConnectedGNM(64, 192, rng)
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("FindCk_k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				central.FindCk(g, k)
+			}
+		})
+	}
+}
+
+// BenchmarkGraphGen measures generator throughput (the experiment harness's
+// fixed cost).
+func BenchmarkGraphGen(b *testing.B) {
+	b.Run("ConnectedGNM_1k", func(b *testing.B) {
+		rng := xrand.New(5)
+		for i := 0; i < b.N; i++ {
+			graph.ConnectedGNM(1000, 4000, rng)
+		}
+	})
+	b.Run("FarFromCkFree", func(b *testing.B) {
+		rng := xrand.New(6)
+		for i := 0; i < b.N; i++ {
+			graph.FarFromCkFree(300, 5, 0.05, rng)
+		}
+	})
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point.
+func BenchmarkPublicAPI(b *testing.B) {
+	g := NewGraph(64)
+	rng := xrand.New(7)
+	inner := graph.ConnectedGNM(64, 200, rng)
+	for _, e := range inner.Edges() {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Test(g, Options{K: 5, Epsilon: 0.2, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrunerVsBrute is the ablation for DESIGN.md §3.4: the bounded
+// hitting-set pruner versus the paper-literal 𝒳-materializing greedy on
+// identical inputs (small enough that the brute force terminates).
+func BenchmarkPrunerVsBrute(b *testing.B) {
+	rng := xrand.New(8)
+	lists := make([][]int64, 24)
+	for i := range lists {
+		seen := map[int64]bool{}
+		for len(lists[i]) < 2 {
+			x := int64(rng.Intn(8))
+			if !seen[x] {
+				seen[x] = true
+				lists[i] = append(lists[i], x)
+			}
+		}
+	}
+	const q = 3
+	b.Run("hitting-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combin.Representatives(lists, q)
+		}
+	})
+	b.Run("paper-literal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			combin.RepresentativesBrute(lists, q)
+		}
+	})
+}
+
+// BenchmarkTriangleBaseline measures the k=3 predecessor [7]: O(1/ε²)
+// repetitions of 1-ID probes.
+func BenchmarkTriangleBaseline(b *testing.B) {
+	rng := xrand.New(9)
+	g, _ := graph.FarFromCkFree(120, 3, 0.1, rng)
+	for i := 0; i < b.N; i++ {
+		prog := &core.TriangleTester{Eps: 0.1}
+		if _, err := congest.Run(g, prog, congest.Config{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

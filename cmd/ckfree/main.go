@@ -1,0 +1,227 @@
+// Command ckfree runs the distributed Ck-freeness tester on a graph.
+//
+// The graph comes either from a file in the edge-list format (see
+// cmd/graphgen) or from a built-in generator spec. Examples:
+//
+//	ckfree -k 5 -eps 0.1 -gen cycle:12
+//	ckfree -k 4 -eps 0.05 -gen gnm:200,800 -seed 7
+//	ckfree -k 6 -graph my.graph -engine channels
+//	ckfree -k 7 -gen wheel:20 -edge 0,1        # deterministic Phase-2 only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cycledetect/internal/central"
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 3, "cycle length to test for (>= 3)")
+		eps     = flag.Float64("eps", 0.1, "property-testing parameter in (0,1)")
+		reps    = flag.Int("reps", 0, "override repetition count (0 = derive from eps)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		file    = flag.String("graph", "", "graph file (edge-list format)")
+		gen     = flag.String("gen", "", "generator spec, e.g. cycle:12, gnm:100,400, wheel:9, grid:4,6, far:120,0.05")
+		engine  = flag.String("engine", "bsp", "simulation engine: bsp or channels")
+		edge    = flag.String("edge", "", "run the deterministic per-edge detector for 'u,v' instead of the full tester")
+		naive   = flag.Bool("naive", false, "disable pruning (ablation mode)")
+		oracle  = flag.Bool("oracle", false, "also run the centralized oracle and compare")
+		verbose = flag.Bool("v", false, "print traffic statistics")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*file, *gen, *k, *eps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if !graph.Connected(g) {
+		fatal(fmt.Errorf("graph is not connected (the CONGEST model requires a connected network)"))
+	}
+	mode := core.ModePruned
+	if *naive {
+		mode = core.ModeNaive
+	}
+
+	var prog congest.Program
+	if *edge != "" {
+		u, v, err := parseEdge(*edge)
+		if err != nil {
+			fatal(err)
+		}
+		prog = &core.EdgeDetector{K: *k, U: u, V: v, Mode: mode}
+	} else {
+		prog = &core.Tester{K: *k, Eps: *eps, Reps: *reps, Mode: mode}
+	}
+
+	res, err := congest.RunWith(congest.Engine(*engine), g, prog, congest.Config{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	dec := core.Summarize(res.Outputs, res.IDs)
+
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("rounds: %d\n", res.Stats.Rounds)
+	if dec.Reject {
+		fmt.Printf("verdict: REJECT — C%d detected\n", *k)
+		fmt.Printf("witness: %v\n", dec.Witness)
+		fmt.Printf("rejecting nodes: %v\n", dec.RejectingIDs)
+	} else {
+		fmt.Printf("verdict: ACCEPT — no C%d found\n", *k)
+	}
+	if *verbose {
+		fmt.Printf("messages: %d  total: %d bits  max message: %d bits  max sequences: %d\n",
+			res.Stats.MessagesSent, res.Stats.TotalBits, res.Stats.MaxMessageBits, dec.MaxSeqs)
+	}
+	if *oracle {
+		truth := central.HasCk(g, *k)
+		fmt.Printf("oracle: graph %s a C%d\n", map[bool]string{true: "CONTAINS", false: "does not contain"}[truth], *k)
+		if dec.Reject && !truth {
+			fatal(fmt.Errorf("SOUNDNESS VIOLATION: rejected a C%d-free graph", *k))
+		}
+	}
+}
+
+func loadGraph(file, gen string, k int, eps float64, seed uint64) (*graph.Graph, error) {
+	switch {
+	case file != "" && gen != "":
+		return nil, fmt.Errorf("give either -graph or -gen, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadText(f)
+	case gen != "":
+		return buildGen(gen, k, eps, seed)
+	default:
+		return nil, fmt.Errorf("one of -graph or -gen is required")
+	}
+}
+
+func buildGen(spec string, k int, eps float64, seed uint64) (*graph.Graph, error) {
+	rng := xrand.New(seed)
+	name, argStr, _ := strings.Cut(spec, ":")
+	var args []int
+	var fargs []float64
+	if argStr != "" {
+		for _, part := range strings.Split(argStr, ",") {
+			if iv, err := strconv.Atoi(part); err == nil {
+				args = append(args, iv)
+				fargs = append(fargs, float64(iv))
+				continue
+			}
+			fv, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad generator argument %q", part)
+			}
+			args = append(args, int(fv))
+			fargs = append(fargs, fv)
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("generator %q needs %d arguments", name, n)
+		}
+		return nil
+	}
+	switch name {
+	case "cycle":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.Cycle(args[0]), nil
+	case "path":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.Path(args[0]), nil
+	case "wheel":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.Wheel(args[0]), nil
+	case "complete":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.Complete(args[0]), nil
+	case "grid":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return graph.Grid(args[0], args[1]), nil
+	case "torus":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return graph.Torus(args[0], args[1]), nil
+	case "hypercube":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.Hypercube(args[0]), nil
+	case "kbipartite":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return graph.CompleteBipartite(args[0], args[1]), nil
+	case "tree":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(args[0], rng), nil
+	case "gnm":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return graph.ConnectedGNM(args[0], args[1], rng), nil
+	case "theta":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return graph.Theta(args[0], args[1], rng), nil
+	case "far":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		g, _ := graph.FarFromCkFree(args[0], k, fargs[1], rng)
+		return g, nil
+	case "planted":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		g, e := graph.PlantedCycle(args[0], k, args[1], rng)
+		fmt.Printf("planted C%d through edge %v\n", k, e)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (try cycle, path, wheel, complete, grid, torus, hypercube, kbipartite, tree, gnm, theta, far, planted)", name)
+	}
+}
+
+func parseEdge(s string) (int64, int64, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("edge must be 'u,v'")
+	}
+	u, err1 := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+	v, err2 := strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad edge %q", s)
+	}
+	return u, v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ckfree:", err)
+	os.Exit(1)
+}

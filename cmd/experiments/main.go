@@ -1,0 +1,59 @@
+// Command experiments regenerates every reproduced table and figure
+// (E1–E12; see DESIGN.md for the index and EXPERIMENTS.md for the recorded
+// results). Each table prints the paper's claim, the measured values, and a
+// PASS/FAIL line; the process exits non-zero if any claim is violated.
+//
+//	experiments             # full sweeps (about a minute)
+//	experiments -quick      # reduced sweeps (seconds)
+//	experiments -only E2,E8 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cycledetect/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sample sizes")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	failures := 0
+	ran := 0
+	for _, r := range bench.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tbl := r.Run(cfg)
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		failures += tbl.Violations
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no experiment matched -only")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d claim violations\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments passed\n", ran)
+}

@@ -1,0 +1,92 @@
+// Triangle and C4 detection in a synthetic social network — the pattern
+// that started distributed property testing (Censor-Hillel et al. 2016
+// handled triangles, Fraigniaud et al. 2016 added C4; this paper closes
+// every k). The example also shows the headline scalability property: the
+// round count does not change as the network grows.
+//
+//	go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycledetect"
+	"cycledetect/internal/central"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(99)
+	for _, n := range []int{100, 400, 1600} {
+		g := socialGraph(n, rng)
+		api := cycledetect.NewGraph(g.N())
+		for _, e := range g.Edges() {
+			if err := api.AddEdge(e.U, e.V); err != nil {
+				log.Fatal(err)
+			}
+		}
+		triangles := central.CountTriangles(g)
+		fmt.Printf("network n=%d m=%d: %d triangles (centralized count)\n",
+			g.N(), g.M(), triangles)
+
+		for _, k := range []int{3, 4, 5} {
+			res, err := cycledetect.Test(api, cycledetect.Options{K: k, Epsilon: 0.1, Seed: 5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "none found"
+			if res.Rejected {
+				status = fmt.Sprintf("found %v", res.Witness)
+			}
+			fmt.Printf("  C%d: %-28s rounds=%-4d max message=%d bits\n",
+				k, status, res.Rounds, res.MaxMessageBits)
+		}
+	}
+	fmt.Println("\nnote: rounds are identical across n=100..1600 — the O(1/ε) guarantee;")
+	fmt.Println("message sizes grow only with log n (ID width), never with n or degree.")
+}
+
+// socialGraph builds a Chung-Lu-style graph with a heavy-tailed expected
+// degree sequence — hubs plus periphery, triangle-rich like real social
+// networks — then connects it.
+func socialGraph(n int, rng *xrand.RNG) *graph.Graph {
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		// w_i ~ (i+1)^{-0.5} scaled: a mild power law.
+		weights[i] = 10.0 / (1.0 + float64(i)*0.05)
+		if weights[i] < 1 {
+			weights[i] = 1
+		}
+		total += weights[i]
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := weights[u] * weights[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	// Connect stragglers to the highest-weight hub so the CONGEST model's
+	// connectivity assumption holds.
+	g := b.Build()
+	comps := graph.Components(g)
+	if len(comps) > 1 {
+		bb := graph.NewBuilder(n)
+		for _, e := range g.Edges() {
+			bb.AddEdge(e.U, e.V)
+		}
+		for _, comp := range comps[1:] {
+			bb.AddEdge(0, comp[0])
+		}
+		g = bb.Build()
+	}
+	return g
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment in quick mode and demands
+// zero claim violations — the repository's one-command reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID+"_"+r.Name, func(t *testing.T) {
+			tbl := r.Run(Config{Seed: 1, Quick: true})
+			if tbl.Violations != 0 {
+				t.Fatalf("%s reported %d violations:\n%s", r.ID, tbl.Violations, tbl.Format())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+		})
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "formatting works",
+		Header: []string{"a", "longer"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Note("note %d", 7)
+	out := tbl.Format()
+	for _, want := range []string{"EX — demo", "claim: formatting works", "a    longer", "333", "note: note 7", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	tbl.Violations = 2
+	if !strings.Contains(tbl.Format(), "FAIL: 2") {
+		t.Fatal("violations not reported")
+	}
+}
+
+func TestFig1GraphShape(t *testing.T) {
+	g := Fig1Graph()
+	if g.N() != 5 || g.M() != 7 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	// x and y must both be adjacent to both u and v (the §3.2 hazard).
+	for _, v := range []int{2, 3} {
+		if !g.HasEdge(0, v) || !g.HasEdge(1, v) {
+			t.Fatalf("vertex %d not adjacent to both endpoints", v)
+		}
+	}
+}
+
+func TestConfigSamples(t *testing.T) {
+	if (Config{Quick: true}).samples(100, 5) != 5 {
+		t.Fatal("quick samples")
+	}
+	if (Config{}).samples(100, 5) != 100 {
+		t.Fatal("full samples")
+	}
+}
+
+func TestFormatAllQuick(t *testing.T) {
+	out := FormatAll(Config{Seed: 2, Quick: true})
+	for _, r := range All() {
+		if !strings.Contains(out, r.ID+" — ") {
+			t.Fatalf("experiment %s missing from FormatAll output", r.ID)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("FormatAll contains failures:\n%s", out)
+	}
+}

@@ -1,0 +1,362 @@
+// Package central provides centralized (full-knowledge) algorithms for
+// k-cycle detection. They serve three roles:
+//
+//   - ground-truth oracles that the distributed algorithms are validated
+//     against (exhaustive DFS enumeration);
+//   - classical baselines for the comparison experiment E11 (color coding,
+//     in the spirit of Monien's representative-family path algorithms the
+//     paper connects itself to in §1.2);
+//   - farness certification via greedy edge-disjoint cycle packing
+//     (Lemma 4).
+package central
+
+import (
+	"math/bits"
+
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+// FindCk returns a k-cycle in g as an ordered vertex list (each consecutive
+// pair adjacent, last adjacent to first), or nil if none exists. Exhaustive
+// DFS with canonical-start pruning: only cycles whose minimum vertex is the
+// DFS root are explored, so each cycle is considered from exactly one root.
+func FindCk(g *graph.Graph, k int) []int {
+	if k < 3 {
+		panic("central: FindCk needs k >= 3")
+	}
+	if k > g.N() {
+		return nil
+	}
+	inPath := make([]bool, g.N())
+	path := make([]int, 0, k)
+	var dfs func(v, root int) []int
+	dfs = func(v, root int) []int {
+		if len(path) == k {
+			if g.HasEdge(v, root) {
+				return append([]int(nil), path...)
+			}
+			return nil
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if w <= root || inPath[w] {
+				continue
+			}
+			path = append(path, w)
+			inPath[w] = true
+			if cyc := dfs(w, root); cyc != nil {
+				return cyc
+			}
+			inPath[w] = false
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	for root := 0; root < g.N(); root++ {
+		path = append(path[:0], root)
+		inPath[root] = true
+		if cyc := dfs(root, root); cyc != nil {
+			return cyc
+		}
+		inPath[root] = false
+	}
+	return nil
+}
+
+// HasCk reports whether g contains a k-cycle as a subgraph.
+func HasCk(g *graph.Graph, k int) bool { return FindCk(g, k) != nil }
+
+// FindCkThroughEdge returns a k-cycle through edge e as an ordered vertex
+// list starting with e.U and ending with e.V, or nil. It searches for a
+// simple path of k-1 edges from e.U to e.V that avoids re-crossing e.
+func FindCkThroughEdge(g *graph.Graph, k int, e graph.Edge) []int {
+	if k < 3 {
+		panic("central: FindCkThroughEdge needs k >= 3")
+	}
+	if !g.HasEdge(e.U, e.V) {
+		return nil
+	}
+	inPath := make([]bool, g.N())
+	path := make([]int, 0, k)
+	path = append(path, e.U)
+	inPath[e.U] = true
+	var dfs func(v int) []int
+	dfs = func(v int) []int {
+		if len(path) == k {
+			if v == e.V {
+				return append([]int(nil), path...)
+			}
+			return nil
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if inPath[w] {
+				continue
+			}
+			if v == e.U && w == e.V && len(path) == 1 {
+				continue // would traverse e itself
+			}
+			if w == e.V && len(path) != k-1 {
+				continue // e.V may only appear as the final vertex
+			}
+			path = append(path, w)
+			inPath[w] = true
+			if cyc := dfs(w); cyc != nil {
+				return cyc
+			}
+			inPath[w] = false
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	return dfs(e.U)
+}
+
+// HasCkThroughEdge reports whether some k-cycle passes through e.
+func HasCkThroughEdge(g *graph.Graph, k int, e graph.Edge) bool {
+	return FindCkThroughEdge(g, k, e) != nil
+}
+
+// CountCk counts the k-cycle subgraphs of g. Each cycle is counted once:
+// the DFS is rooted at the cycle's minimum vertex and the two traversal
+// directions are collapsed by requiring the second vertex to be smaller
+// than the last.
+func CountCk(g *graph.Graph, k int) int64 {
+	if k < 3 {
+		panic("central: CountCk needs k >= 3")
+	}
+	var count int64
+	inPath := make([]bool, g.N())
+	path := make([]int, 0, k)
+	var dfs func(v, root int)
+	dfs = func(v, root int) {
+		if len(path) == k {
+			if g.HasEdge(v, root) && path[1] < path[k-1] {
+				count++
+			}
+			return
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if w <= root || inPath[w] {
+				continue
+			}
+			path = append(path, w)
+			inPath[w] = true
+			dfs(w, root)
+			inPath[w] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for root := 0; root < g.N(); root++ {
+		path = append(path[:0], root)
+		inPath[root] = true
+		dfs(root, root)
+		inPath[root] = false
+	}
+	return count
+}
+
+// CountTriangles counts triangles with the standard neighbor-intersection
+// method over edges. Cross-checked against CountCk(g, 3) in tests; provided
+// separately because it is near-linear on sparse graphs and used by large
+// experiments.
+func CountTriangles(g *graph.Graph) int64 {
+	var count int64
+	for u := 0; u < g.N(); u++ {
+		nu := g.Neighbors(u)
+		for _, v32 := range nu {
+			v := int(v32)
+			if v <= u {
+				continue
+			}
+			nv := g.Neighbors(v)
+			// Merge-intersect the two sorted lists, counting w > v so each
+			// triangle u<v<w is seen exactly once.
+			i, j := 0, 0
+			for i < len(nu) && j < len(nv) {
+				a, b := nu[i], nv[j]
+				switch {
+				case a == b:
+					if int(a) > v {
+						count++
+					}
+					i++
+					j++
+				case a < b:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// CyclesThroughEdge counts k-cycles through edge e (simple paths of k-1
+// edges from e.U to e.V avoiding e), counting each once.
+func CyclesThroughEdge(g *graph.Graph, k int, e graph.Edge) int64 {
+	var count int64
+	inPath := make([]bool, g.N())
+	depth := 0
+	var dfs func(v int)
+	dfs = func(v int) {
+		if depth == k-1 {
+			if v == e.V {
+				count++
+			}
+			return
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if inPath[w] {
+				continue
+			}
+			if depth == 0 && v == e.U && w == e.V {
+				continue
+			}
+			if w == e.V && depth != k-2 {
+				continue
+			}
+			inPath[w] = true
+			depth++
+			dfs(w)
+			depth--
+			inPath[w] = false
+		}
+	}
+	if !g.HasEdge(e.U, e.V) {
+		return 0
+	}
+	inPath[e.U] = true
+	dfs(e.U)
+	return count
+}
+
+// GreedyCyclePacking greedily packs edge-disjoint k-cycles: find a k-cycle,
+// delete its edges, repeat. Returns the packed cycles. The result is a lower
+// bound on the maximum packing, hence (via Lemma 4's converse direction) a
+// farness certificate: the graph is ε-far from Ck-free for all ε < q/m.
+func GreedyCyclePacking(g *graph.Graph, k int) [][]int {
+	cur := g
+	var packed [][]int
+	for {
+		cyc := FindCk(cur, k)
+		if cyc == nil {
+			return packed
+		}
+		packed = append(packed, cyc)
+		drop := make(map[graph.Edge]bool, k)
+		for i := range cyc {
+			drop[graph.Edge{U: cyc[i], V: cyc[(i+1)%k]}.Canon()] = true
+		}
+		cur = graph.Subgraph(cur, func(e graph.Edge) bool { return !drop[e] })
+	}
+}
+
+// ColorCoding is the classical randomized FPT detector for Ck (Alon–Yuster–
+// Zwick style): color vertices uniformly with k colors and search for a
+// "colorful" cycle — one using every color — by dynamic programming over
+// (colorset, endpoint) states from each anchor vertex. A k-cycle survives a
+// coloring with probability k!/k^k, so iters ≈ e^k·ln(1/δ) colorings give
+// failure probability δ. One-sided: a reported cycle always exists.
+//
+// It exists as the E11 comparison baseline; k must be at most 20 (colorsets
+// are bitmasks).
+func ColorCoding(g *graph.Graph, k int, iters int, rng *xrand.RNG) bool {
+	if k < 3 || k > 20 {
+		panic("central: ColorCoding needs 3 <= k <= 20")
+	}
+	n := g.N()
+	color := make([]uint8, n)
+	for it := 0; it < iters; it++ {
+		for v := range color {
+			color[v] = uint8(rng.Intn(k))
+		}
+		if colorfulCycle(g, k, color) {
+			return true
+		}
+	}
+	return false
+}
+
+// colorfulCycle reports whether g has a cycle of length k all of whose
+// vertex colors are distinct under color (hence exactly the k colors).
+func colorfulCycle(g *graph.Graph, k int, color []uint8) bool {
+	n := g.N()
+	full := uint32(1)<<k - 1
+	// reach[mask] is the set of vertices v such that some colorful path from
+	// the anchor s to v uses exactly the colors in mask. Represented as a
+	// bitset over vertices.
+	words := (n + 63) / 64
+	reach := make([][]uint64, full+1)
+	for s := 0; s < n; s++ {
+		// Anchor at s; to avoid recounting, require s to carry color 0 — any
+		// colorful cycle has exactly one color-0 vertex to anchor at.
+		if color[s] != 0 {
+			continue
+		}
+		for m := range reach {
+			reach[m] = nil
+		}
+		start := uint32(1) << color[s]
+		reach[start] = make([]uint64, words)
+		reach[start][s/64] |= 1 << (s % 64)
+		// Iterate masks in increasing popcount order implicitly: increasing
+		// numeric order suffices since supersets are numerically larger only
+		// when... not in general; use explicit BFS over masks by popcount.
+		masks := masksByPopcount(k)
+		for _, m := range masks {
+			bs := reach[m]
+			if bs == nil {
+				continue
+			}
+			for w := 0; w < words; w++ {
+				word := bs[w]
+				for word != 0 {
+					b := word & (-word)
+					v := w*64 + bits.TrailingZeros64(b)
+					word ^= b
+					for _, x32 := range g.Neighbors(v) {
+						x := int(x32)
+						cm := uint32(1) << color[x]
+						if m&cm != 0 {
+							continue
+						}
+						nm := m | cm
+						if reach[nm] == nil {
+							reach[nm] = make([]uint64, words)
+						}
+						reach[nm][x/64] |= 1 << (x % 64)
+					}
+				}
+			}
+		}
+		if bs := reach[full]; bs != nil {
+			// A colorful path from s spanning all k colors ends at some v;
+			// it is a cycle iff v is adjacent to s.
+			for _, x32 := range g.Neighbors(s) {
+				x := int(x32)
+				if bs[x/64]&(1<<(x%64)) != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func masksByPopcount(k int) []uint32 {
+	full := uint32(1)<<k - 1
+	masks := make([]uint32, 0, full+1)
+	for pc := 1; pc <= k; pc++ {
+		for m := uint32(1); m <= full; m++ {
+			if bits.OnesCount32(m) == pc {
+				masks = append(masks, m)
+			}
+		}
+	}
+	return masks
+}

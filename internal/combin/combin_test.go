@@ -1,0 +1,237 @@
+package combin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cycledetect/internal/xrand"
+)
+
+func TestBinomialValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want uint64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+		{64, 32, 1832624140942590534},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d)=%d want %d", c.n, c.k, got, c.want)
+		}
+	}
+	// Overflow saturates.
+	if got := Binomial(200, 100); got != ^uint64(0) {
+		t.Errorf("C(200,100) should saturate, got %d", got)
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		for k := 1; k < n; k++ {
+			if Binomial(n, k) != Binomial(n-1, k-1)+Binomial(n-1, k) {
+				t.Fatalf("Pascal fails at (%d,%d)", n, k)
+			}
+		}
+	}
+}
+
+func TestSubsetsEnumeration(t *testing.T) {
+	count := 0
+	var last []int
+	Subsets(6, 3, func(sub []int) bool {
+		count++
+		cp := append([]int(nil), sub...)
+		if last != nil {
+			// Lexicographic order check.
+			less := false
+			for i := range cp {
+				if last[i] != cp[i] {
+					less = last[i] < cp[i]
+					break
+				}
+			}
+			if !less {
+				t.Fatalf("not lexicographic: %v then %v", last, cp)
+			}
+		}
+		last = cp
+		return true
+	})
+	if count != 20 {
+		t.Fatalf("C(6,3) enumerated %d subsets", count)
+	}
+	// Early stop.
+	count = 0
+	completed := Subsets(6, 3, func([]int) bool { count++; return count < 5 })
+	if completed || count != 5 {
+		t.Fatalf("early stop broken: completed=%v count=%d", completed, count)
+	}
+	// Edge cases.
+	n := 0
+	Subsets(4, 0, func(sub []int) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("C(4,0) gave %d subsets", n)
+	}
+	if !Subsets(3, 5, func([]int) bool { t.Fatal("called"); return true }) {
+		t.Fatal("k>n should complete trivially")
+	}
+}
+
+// randomFamily builds a family of `count` lists of length p over a universe
+// of size max(u, p) (so distinct elements always exist).
+func randomFamily(rng *xrand.RNG, count, p, u int) [][]int64 {
+	if u < p {
+		u = p
+	}
+	fam := make([][]int64, count)
+	for i := range fam {
+		seen := make(map[int64]bool)
+		var l []int64
+		for len(l) < p {
+			x := int64(rng.Intn(u))
+			if !seen[x] {
+				seen[x] = true
+				l = append(l, x)
+			}
+		}
+		fam[i] = l
+	}
+	return fam
+}
+
+// TestRepresentativesMatchesBrute is the key equivalence test: the bounded
+// hitting-set implementation must keep EXACTLY the same lists as the
+// paper-literal 𝒳-materializing greedy, for the same processing order.
+func TestRepresentativesMatchesBrute(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 400; trial++ {
+		p := 1 + rng.Intn(3) // list length (t-1)
+		q := rng.Intn(4)     // witness size (k-t)
+		u := 2 + rng.Intn(6) // universe size
+		count := 1 + rng.Intn(8)
+		fam := randomFamily(rng, count, p, u)
+		fast := Representatives(fam, q)
+		brute := RepresentativesBrute(fam, q)
+		if len(fast) != len(brute) {
+			t.Fatalf("trial %d: kept %v vs brute %v (family %v, q=%d)", trial, fast, brute, fam, q)
+		}
+		for i := range fast {
+			if fast[i] != brute[i] {
+				t.Fatalf("trial %d: kept %v vs brute %v (family %v, q=%d)", trial, fast, brute, fam, q)
+			}
+		}
+	}
+}
+
+// TestRepresentativesEHMProperty: the kept family is q-representative in the
+// Erdős–Hajnal–Moon sense over the real-ID universe.
+func TestRepresentativesEHMProperty(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 150; trial++ {
+		p := 1 + rng.Intn(3)
+		q := rng.Intn(3)
+		u := 2 + rng.Intn(5)
+		fam := randomFamily(rng, 1+rng.Intn(10), p, u)
+		kept := Representatives(fam, q)
+		universe := make([]int64, u)
+		for i := range universe {
+			universe[i] = int64(i)
+		}
+		if !IsRepresentative(fam, kept, universe, q) {
+			t.Fatalf("trial %d: kept %v not %d-representative of %v", trial, kept, q, fam)
+		}
+	}
+}
+
+// TestRepresentativesEHMBound: the kept family respects C(p+q, p).
+func TestRepresentativesEHMBound(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 100; trial++ {
+		p := 1 + rng.Intn(3)
+		q := rng.Intn(4)
+		fam := randomFamily(rng, 1+rng.Intn(40), p, p+q+3)
+		kept := Representatives(fam, q)
+		if uint64(len(kept)) > EHMBound(p, q) {
+			t.Fatalf("kept %d > EHM bound %d (p=%d q=%d)", len(kept), EHMBound(p, q), p, q)
+		}
+	}
+}
+
+func TestRepresentativesFirstAlwaysKept(t *testing.T) {
+	// The paper notes the first sequence is always kept (the all-fake X).
+	fam := [][]int64{{1, 2}, {1, 2}, {2, 3}}
+	for q := 0; q <= 5; q++ {
+		kept := Representatives(fam, q)
+		if len(kept) == 0 || kept[0] != 0 {
+			t.Fatalf("q=%d: first list not kept: %v", q, kept)
+		}
+	}
+}
+
+func TestRepresentativesDuplicatesDropped(t *testing.T) {
+	// Identical lists (same ID set) can be kept at most once.
+	fam := [][]int64{{1, 2}, {1, 2}, {1, 2}}
+	kept := Representatives(fam, 2)
+	if len(kept) != 1 {
+		t.Fatalf("duplicates kept: %v", kept)
+	}
+}
+
+func TestRepresentativesDisjointAllKept(t *testing.T) {
+	// Pairwise disjoint lists must all be kept when q >= 1... not
+	// necessarily: keeping L removes X sets that avoid L but may hit others.
+	// The guaranteed case is q = 0: every list is kept iff the empty set is
+	// still available, and the empty X avoids everything — it is removed by
+	// the first kept list, so exactly one list survives.
+	fam := [][]int64{{1}, {2}, {3}}
+	kept := Representatives(fam, 0)
+	if len(kept) != 1 {
+		t.Fatalf("q=0 should keep exactly one list, got %v", kept)
+	}
+}
+
+func TestPaperMessageBound(t *testing.T) {
+	cases := []struct {
+		k, tt int
+		want  uint64
+	}{
+		{5, 1, 1},     // (k-1+1)^0
+		{5, 2, 4},     // 4^1
+		{6, 2, 5},     // 5^1
+		{6, 3, 16},    // 4^2
+		{9, 4, 216},   // 6^3
+		{10, 5, 1296}, // 6^4
+	}
+	for _, c := range cases {
+		if got := PaperMessageBound(c.k, c.tt); got != c.want {
+			t.Errorf("bound(k=%d,t=%d)=%d want %d", c.k, c.tt, got, c.want)
+		}
+	}
+}
+
+// TestRepresentativesQuick drives the fast/brute equivalence through
+// testing/quick's case generation as well.
+func TestRepresentativesQuick(t *testing.T) {
+	f := func(seed uint64, pRaw, qRaw uint8) bool {
+		rng := xrand.New(seed)
+		p := 1 + int(pRaw%3)
+		q := int(qRaw % 3)
+		fam := randomFamily(rng, 1+rng.Intn(6), p, 2+rng.Intn(5))
+		a := Representatives(fam, q)
+		b := RepresentativesBrute(fam, q)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package congest simulates the CONGEST model of distributed computing
+// (Peleg 2000), the model the paper's algorithm is designed for (§2.1).
+//
+// The network is a connected simple graph. Nodes hold distinct O(log n)-bit
+// identifiers, run the same program, and proceed in synchronous rounds; in
+// each round a node performs local computation, sends one message of
+// O(log n) bits along each incident edge, and receives the messages sent by
+// its neighbors in the same round.
+//
+// Two execution engines implement identical semantics:
+//
+//   - Run: a lockstep bulk-synchronous engine (reference implementation);
+//   - RunChannels: one goroutine per node with a buffered channel per
+//     directed edge (an α-synchronizer), demonstrating the natural mapping
+//     of CONGEST rounds onto goroutines and channels.
+//
+// Both engines account for every message's size in bits, so experiments can
+// verify the O(log n) bandwidth claim, and can optionally enforce a hard
+// per-message budget.
+package congest
+
+import (
+	"fmt"
+
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+// ID is a node identifier as visible to the algorithm.
+type ID = int64
+
+// NodeInfo is the initial knowledge of a node. Following the paper (and the
+// standard KT1 assumption needed by Phase 1's edge-assignment rule), a node
+// knows its own ID, the IDs of its neighbors (per port), the number of nodes
+// n, and has private random coins.
+type NodeInfo struct {
+	ID          ID
+	N           int
+	NeighborIDs []ID // NeighborIDs[p] is the ID of the neighbor on port p
+	Rand        *xrand.RNG
+}
+
+// Degree returns the node's degree.
+func (ni *NodeInfo) Degree() int { return len(ni.NeighborIDs) }
+
+// Node is the per-node state of a running program.
+//
+// In round r (1-based) the engine first calls Send, which must fill out[p]
+// with the payload for port p (nil for no message), then delivers messages,
+// then calls Receive with in[p] holding the payload that arrived on port p
+// (nil for none). After the last round the engine calls Output once.
+type Node interface {
+	Send(round int, out [][]byte)
+	Receive(round int, in [][]byte)
+	Output() any
+}
+
+// Program constructs per-node state and declares the number of rounds. The
+// round count may depend on n and m only through public knowledge (the
+// paper's testers depend on k and ε alone).
+type Program interface {
+	Rounds(n, m int) int
+	NewNode(info NodeInfo) Node
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// Seed seeds every node's private coin stream (per-node streams are
+	// derived deterministically from Seed and the node's ID).
+	Seed uint64
+	// IDs optionally assigns identifiers to vertices (IDs[v] is vertex v's
+	// identifier). Identifiers must be distinct and non-negative. If nil,
+	// vertex v gets ID v.
+	IDs []ID
+	// BandwidthBits, if positive, is a hard per-message budget in bits;
+	// exceeding it aborts the run with ErrBandwidth. Zero disables
+	// enforcement (sizes are still recorded in Stats).
+	BandwidthBits int
+}
+
+// Stats aggregates message traffic over a run.
+type Stats struct {
+	Rounds           int
+	MessagesSent     int64   // non-nil payloads
+	TotalBits        int64   // sum of payload sizes
+	MaxMessageBits   int     // largest single payload
+	PerRoundMaxBits  []int   // largest payload per round, index round-1
+	PerRoundBits     []int64 // traffic volume per round
+	PerRoundMessages []int64 // message count per round
+	AvgMessageBits   float64 // TotalBits / MessagesSent (0 if no messages)
+}
+
+func newStats(rounds int) Stats {
+	return Stats{
+		Rounds:           rounds,
+		PerRoundMaxBits:  make([]int, rounds),
+		PerRoundBits:     make([]int64, rounds),
+		PerRoundMessages: make([]int64, rounds),
+	}
+}
+
+func (s *Stats) observe(round int, bits int) {
+	s.MessagesSent++
+	s.TotalBits += int64(bits)
+	if bits > s.MaxMessageBits {
+		s.MaxMessageBits = bits
+	}
+	if bits > s.PerRoundMaxBits[round-1] {
+		s.PerRoundMaxBits[round-1] = bits
+	}
+	s.PerRoundBits[round-1] += int64(bits)
+	s.PerRoundMessages[round-1]++
+}
+
+func (s *Stats) finalize() {
+	if s.MessagesSent > 0 {
+		s.AvgMessageBits = float64(s.TotalBits) / float64(s.MessagesSent)
+	}
+}
+
+// merge folds other into s (used by the channel engine to combine per-node
+// stats).
+func (s *Stats) merge(other *Stats) {
+	s.MessagesSent += other.MessagesSent
+	s.TotalBits += other.TotalBits
+	if other.MaxMessageBits > s.MaxMessageBits {
+		s.MaxMessageBits = other.MaxMessageBits
+	}
+	for i, b := range other.PerRoundMaxBits {
+		if b > s.PerRoundMaxBits[i] {
+			s.PerRoundMaxBits[i] = b
+		}
+	}
+	for i, b := range other.PerRoundBits {
+		s.PerRoundBits[i] += b
+	}
+	for i, c := range other.PerRoundMessages {
+		s.PerRoundMessages[i] += c
+	}
+}
+
+// Result is the outcome of a run: one output per vertex (indexed by vertex,
+// not ID) plus traffic statistics.
+type Result struct {
+	Outputs []any
+	IDs     []ID // the ID assignment used
+	Stats   Stats
+}
+
+// ErrBandwidth reports a message that exceeded the configured budget.
+type ErrBandwidth struct {
+	Round     int
+	From, To  ID
+	Bits      int
+	BudgetBit int
+}
+
+func (e *ErrBandwidth) Error() string {
+	return fmt.Sprintf("congest: round %d: message %d->%d is %d bits, budget %d",
+		e.Round, e.From, e.To, e.Bits, e.BudgetBit)
+}
+
+// topology is the precomputed port structure shared by both engines.
+type topology struct {
+	g       *graph.Graph
+	ids     []ID
+	revPort [][]int // revPort[v][p] = the port of v on the neighbor reached via v's port p
+}
+
+func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
+	n := g.N()
+	ids := cfg.IDs
+	if ids == nil {
+		ids = make([]ID, n)
+		for v := range ids {
+			ids[v] = ID(v)
+		}
+	} else {
+		if len(ids) != n {
+			return nil, fmt.Errorf("congest: got %d IDs for %d vertices", len(ids), n)
+		}
+		seen := make(map[ID]struct{}, n)
+		for _, id := range ids {
+			if id < 0 {
+				return nil, fmt.Errorf("congest: negative ID %d", id)
+			}
+			if _, dup := seen[id]; dup {
+				return nil, fmt.Errorf("congest: duplicate ID %d", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+	t := &topology{g: g, ids: ids, revPort: make([][]int, n)}
+	// portOf[v] maps neighbor vertex -> port index in v's adjacency list.
+	portOf := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(v)
+		portOf[v] = make(map[int]int, len(ns))
+		for p, w := range ns {
+			portOf[v][int(w)] = p
+		}
+	}
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(v)
+		t.revPort[v] = make([]int, len(ns))
+		for p, w := range ns {
+			t.revPort[v][p] = portOf[int(w)][v]
+		}
+	}
+	return t, nil
+}
+
+func (t *topology) nodeInfo(v int, seed uint64) NodeInfo {
+	ns := t.g.Neighbors(v)
+	nbr := make([]ID, len(ns))
+	for p, w := range ns {
+		nbr[p] = t.ids[w]
+	}
+	return NodeInfo{
+		ID:          t.ids[v],
+		N:           t.g.N(),
+		NeighborIDs: nbr,
+		Rand:        xrand.Stream(seed, uint64(t.ids[v])),
+	}
+}

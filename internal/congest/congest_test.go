@@ -1,0 +1,415 @@
+package congest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+// echoProgram floods each node's ID for a fixed number of rounds; outputs
+// the multiset of (round, port, value) receipts as a deterministic string.
+// It exercises delivery, port symmetry and round alignment.
+type echoProgram struct {
+	rounds int
+}
+
+func (p *echoProgram) Rounds(n, m int) int { return p.rounds }
+
+func (p *echoProgram) NewNode(info NodeInfo) Node {
+	return &echoNode{info: info}
+}
+
+type echoNode struct {
+	info NodeInfo
+	log  string
+}
+
+func (e *echoNode) Send(round int, out [][]byte) {
+	for pt := range out {
+		buf := make([]byte, 0, 16)
+		buf = binary.AppendVarint(buf, e.info.ID)
+		buf = binary.AppendVarint(buf, int64(round))
+		out[pt] = buf
+	}
+}
+
+func (e *echoNode) Receive(round int, in [][]byte) {
+	for pt, payload := range in {
+		if payload == nil {
+			e.log += fmt.Sprintf("r%d p%d nil;", round, pt)
+			continue
+		}
+		id, n := binary.Varint(payload)
+		r, _ := binary.Varint(payload[n:])
+		e.log += fmt.Sprintf("r%d p%d id=%d sr=%d;", round, pt, id, r)
+	}
+}
+
+func (e *echoNode) Output() any { return e.log }
+
+func TestDeliveryMatchesTopology(t *testing.T) {
+	g := graph.Cycle(5)
+	res, err := Run(g, &echoProgram{rounds: 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node v's neighbors are sorted; for C5 node 0 neighbors are 1 and 4.
+	got := res.Outputs[0].(string)
+	want := "r1 p0 id=1 sr=1;r1 p1 id=4 sr=1;" +
+		"r2 p0 id=1 sr=2;r2 p1 id=4 sr=2;" +
+		"r3 p0 id=1 sr=3;r3 p1 id=4 sr=3;"
+	if got != want {
+		t.Fatalf("node 0 log:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEnginesIdenticalOnEcho(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.ConnectedGNM(n, m, rng)
+		a, err := Run(g, &echoProgram{rounds: 4}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunChannels(g, &echoProgram{rounds: 4}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Outputs {
+			if a.Outputs[v] != b.Outputs[v] {
+				t.Fatalf("node %d outputs differ:\nbsp: %v\nchan: %v", v, a.Outputs[v], b.Outputs[v])
+			}
+		}
+		if a.Stats.TotalBits != b.Stats.TotalBits || a.Stats.MessagesSent != b.Stats.MessagesSent {
+			t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := graph.Complete(4) // 6 edges, 12 directed
+	res, err := Run(g, &echoProgram{rounds: 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("rounds=%d", res.Stats.Rounds)
+	}
+	if res.Stats.MessagesSent != 24 { // 12 directed edges * 2 rounds
+		t.Fatalf("messages=%d want 24", res.Stats.MessagesSent)
+	}
+	if res.Stats.MaxMessageBits <= 0 || res.Stats.TotalBits <= 0 {
+		t.Fatalf("degenerate stats %+v", res.Stats)
+	}
+	if len(res.Stats.PerRoundMaxBits) != 2 {
+		t.Fatalf("per-round slice %v", res.Stats.PerRoundMaxBits)
+	}
+	if res.Stats.AvgMessageBits*float64(res.Stats.MessagesSent) != float64(res.Stats.TotalBits) {
+		t.Fatalf("avg inconsistent: %+v", res.Stats)
+	}
+}
+
+// bigTalker sends an oversized payload at round 2 from node 0.
+type bigTalker struct{ size int }
+
+func (p *bigTalker) Rounds(n, m int) int { return 3 }
+func (p *bigTalker) NewNode(info NodeInfo) Node {
+	return &bigTalkerNode{info: info, size: p.size}
+}
+
+type bigTalkerNode struct {
+	info NodeInfo
+	size int
+}
+
+func (b *bigTalkerNode) Send(round int, out [][]byte) {
+	if b.info.ID == 0 && round == 2 {
+		for pt := range out {
+			out[pt] = make([]byte, b.size)
+		}
+	}
+}
+func (b *bigTalkerNode) Receive(int, [][]byte) {}
+func (b *bigTalkerNode) Output() any           { return nil }
+
+func TestBandwidthEnforcement(t *testing.T) {
+	g := graph.Path(3)
+	for _, run := range []func(*graph.Graph, Program, Config) (*Result, error){Run, RunChannels} {
+		_, err := run(g, &bigTalker{size: 100}, Config{BandwidthBits: 64})
+		if err == nil {
+			t.Fatal("expected bandwidth error")
+		}
+		be, ok := err.(*ErrBandwidth)
+		if !ok {
+			t.Fatalf("wrong error type %T: %v", err, err)
+		}
+		if be.Round != 2 || be.From != 0 || be.Bits != 800 {
+			t.Fatalf("bad error detail %+v", be)
+		}
+		// Under the budget: must succeed.
+		if _, err := run(g, &bigTalker{size: 4}, Config{BandwidthBits: 64}); err != nil {
+			t.Fatalf("under-budget run failed: %v", err)
+		}
+	}
+}
+
+func TestIDValidation(t *testing.T) {
+	g := graph.Path(3)
+	cases := map[string][]ID{
+		"short":    {1, 2},
+		"dup":      {1, 1, 2},
+		"negative": {-1, 0, 1},
+	}
+	for name, ids := range cases {
+		if _, err := Run(g, &echoProgram{rounds: 1}, Config{IDs: ids}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := Run(g, &echoProgram{rounds: 1}, Config{IDs: []ID{10, 5, 99}}); err != nil {
+		t.Errorf("valid custom IDs rejected: %v", err)
+	}
+}
+
+func TestNodeInfoContents(t *testing.T) {
+	g := graph.Star(4) // center 0
+	var captured []NodeInfo
+	probe := &probeProgram{capture: &captured}
+	if _, err := Run(g, probe, Config{Seed: 9, IDs: []ID{100, 200, 300, 400}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 4 {
+		t.Fatalf("captured %d infos", len(captured))
+	}
+	for _, info := range captured {
+		if info.N != 4 {
+			t.Fatalf("N=%d", info.N)
+		}
+		if info.ID == 100 {
+			if info.Degree() != 3 {
+				t.Fatalf("center degree %d", info.Degree())
+			}
+			want := map[ID]bool{200: true, 300: true, 400: true}
+			for _, nb := range info.NeighborIDs {
+				if !want[nb] {
+					t.Fatalf("unexpected neighbor %d", nb)
+				}
+			}
+		} else if info.Degree() != 1 || info.NeighborIDs[0] != 100 {
+			t.Fatalf("leaf %d sees %v", info.ID, info.NeighborIDs)
+		}
+		if info.Rand == nil {
+			t.Fatal("nil RNG")
+		}
+	}
+}
+
+type probeProgram struct{ capture *[]NodeInfo }
+
+func (p *probeProgram) Rounds(n, m int) int { return 1 }
+func (p *probeProgram) NewNode(info NodeInfo) Node {
+	*p.capture = append(*p.capture, info)
+	return &silentNode{}
+}
+
+type silentNode struct{}
+
+func (*silentNode) Send(int, [][]byte)    {}
+func (*silentNode) Receive(int, [][]byte) {}
+func (*silentNode) Output() any           { return nil }
+
+// TestPerNodeRandomnessDeterministic: same seed -> same coins; different
+// seeds -> (overwhelmingly) different coins; coins depend on ID.
+func TestPerNodeRandomnessDeterministic(t *testing.T) {
+	draw := func(seed uint64, ids []ID) []uint64 {
+		g := graph.Path(3)
+		var vals []uint64
+		p := &coinProgram{out: &vals}
+		if _, err := Run(g, p, Config{Seed: seed, IDs: ids}); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a := draw(1, nil)
+	b := draw(1, nil)
+	c := draw(2, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different coins")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical coins")
+	}
+}
+
+type coinProgram struct{ out *[]uint64 }
+
+func (p *coinProgram) Rounds(n, m int) int { return 1 }
+func (p *coinProgram) NewNode(info NodeInfo) Node {
+	*p.out = append(*p.out, info.Rand.Uint64())
+	return &silentNode{}
+}
+
+func TestRunWithDispatch(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := RunWith(EngineBSP, g, &echoProgram{rounds: 1}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWith(EngineChannels, g, &echoProgram{rounds: 1}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWith("", g, &echoProgram{rounds: 1}, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWith("bogus", g, &echoProgram{rounds: 1}, Config{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// panicProgram checks the channel engine converts node panics into errors
+// rather than crashing the process or deadlocking.
+type panicProgram struct{}
+
+func (panicProgram) Rounds(n, m int) int { return 2 }
+func (panicProgram) NewNode(info NodeInfo) Node {
+	if info.ID == 0 {
+		return panicNode{}
+	}
+	return &silentNode{}
+}
+
+type panicNode struct{}
+
+func (panicNode) Send(round int, out [][]byte) {
+	if round == 2 {
+		panic("boom")
+	}
+	for i := range out {
+		out[i] = []byte{1}
+	}
+}
+func (panicNode) Receive(int, [][]byte) {}
+func (panicNode) Output() any           { return nil }
+
+func TestChannelEnginePanicRecovery(t *testing.T) {
+	// Star: panicking center would deadlock leaves without nil-delivery on
+	// panic. Use a 2-node graph so the surviving node finishes regardless.
+	g := graph.Path(2)
+	_, err := RunChannels(g, panicProgram{}, Config{})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+// TestDeterminismAcrossGOMAXPROCS: outputs must not depend on scheduling —
+// the BSP engine parallelizes node calls, but nodes are independent within
+// a round, so any worker count must give identical results.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	rng := xrand.New(123)
+	g := graph.ConnectedGNM(30, 90, rng)
+	runWith := func(procs int) []any {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := Run(g, &echoProgram{rounds: 5}, Config{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a := runWith(1)
+	b := runWith(8)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d output depends on GOMAXPROCS", v)
+		}
+	}
+}
+
+// TestZeroRoundProgram: a program that declares zero rounds still produces
+// outputs and empty stats.
+type zeroProgram struct{}
+
+func (zeroProgram) Rounds(n, m int) int        { return 0 }
+func (zeroProgram) NewNode(info NodeInfo) Node { return constNode{info.ID} }
+
+type constNode struct{ id ID }
+
+func (c constNode) Send(int, [][]byte)    {}
+func (c constNode) Receive(int, [][]byte) {}
+func (c constNode) Output() any           { return c.id }
+
+func TestZeroRoundProgram(t *testing.T) {
+	g := graph.Path(4)
+	for _, run := range []func(*graph.Graph, Program, Config) (*Result, error){Run, RunChannels} {
+		res, err := run(g, zeroProgram{}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.MessagesSent != 0 || res.Stats.Rounds != 0 {
+			t.Fatalf("stats %+v", res.Stats)
+		}
+		for v, o := range res.Outputs {
+			if o.(ID) != ID(v) {
+				t.Fatalf("output %v at vertex %d", o, v)
+			}
+		}
+	}
+}
+
+// TestSingleNodeGraph: a 1-vertex network (no edges) runs without issue.
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.NewBuilder(1).Build()
+	res, err := Run(g, &echoProgram{rounds: 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].(string) != "" {
+		t.Fatalf("phantom receipts: %v", res.Outputs[0])
+	}
+}
+
+// TestPerRoundStatsConsistency: per-round traffic must sum to the totals,
+// in both engines.
+func TestPerRoundStatsConsistency(t *testing.T) {
+	rng := xrand.New(55)
+	g := graph.ConnectedGNM(12, 30, rng)
+	for _, run := range []func(*graph.Graph, Program, Config) (*Result, error){Run, RunChannels} {
+		res, err := run(g, &echoProgram{rounds: 4}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bits, msgs int64
+		maxBits := 0
+		for r := 0; r < res.Stats.Rounds; r++ {
+			bits += res.Stats.PerRoundBits[r]
+			msgs += res.Stats.PerRoundMessages[r]
+			if res.Stats.PerRoundMaxBits[r] > maxBits {
+				maxBits = res.Stats.PerRoundMaxBits[r]
+			}
+		}
+		if bits != res.Stats.TotalBits || msgs != res.Stats.MessagesSent || maxBits != res.Stats.MaxMessageBits {
+			t.Fatalf("per-round stats inconsistent: %+v", res.Stats)
+		}
+		// Echo sends on every directed edge every round.
+		for r := 0; r < res.Stats.Rounds; r++ {
+			if res.Stats.PerRoundMessages[r] != int64(2*g.M()) {
+				t.Fatalf("round %d: %d messages want %d", r+1, res.Stats.PerRoundMessages[r], 2*g.M())
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package congest
+
+import (
+	"runtime"
+	"sync"
+
+	"cycledetect/internal/graph"
+)
+
+// Run executes program p on graph g under the lockstep bulk-synchronous
+// engine: every node's Send for round r completes before any delivery, and
+// every delivery completes before any Receive returns control to round r+1.
+// This is the reference engine; RunChannels must produce identical outputs.
+//
+// Node Send/Receive calls within a round are executed concurrently across a
+// worker pool (nodes are independent within a round by definition of the
+// model), which also surfaces data races in node programs under -race.
+func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
+	topo, err := buildTopology(g, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	rounds := p.Rounds(n, g.M())
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = p.NewNode(topo.nodeInfo(v, cfg.Seed))
+	}
+
+	out := make([][][]byte, n)
+	in := make([][][]byte, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		out[v] = make([][]byte, deg)
+		in[v] = make([][]byte, deg)
+	}
+
+	res := &Result{IDs: topo.ids}
+	res.Stats = newStats(rounds)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// parallelNodes applies fn to every vertex using the worker pool.
+	parallelNodes := func(fn func(v int)) {
+		if workers == 1 {
+			for v := 0; v < n; v++ {
+				fn(v)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		next := make(chan int, n)
+		for v := 0; v < n; v++ {
+			next <- v
+		}
+		close(next)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for v := range next {
+					fn(v)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for r := 1; r <= rounds; r++ {
+		parallelNodes(func(v int) {
+			clearPayloads(out[v])
+			nodes[v].Send(r, out[v])
+		})
+		// Deliver and account. Sequential: accounting is shared state and
+		// delivery is cheap (slice header copies).
+		var bwErr error
+		for v := 0; v < n && bwErr == nil; v++ {
+			ns := g.Neighbors(v)
+			for pt, payload := range out[v] {
+				w := int(ns[pt])
+				in[w][topo.revPort[v][pt]] = payload
+				if payload == nil {
+					continue
+				}
+				bits := 8 * len(payload)
+				res.Stats.observe(r, bits)
+				if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits {
+					bwErr = &ErrBandwidth{
+						Round: r, From: topo.ids[v], To: topo.ids[w],
+						Bits: bits, BudgetBit: cfg.BandwidthBits,
+					}
+					break
+				}
+			}
+		}
+		if bwErr != nil {
+			return nil, bwErr
+		}
+		parallelNodes(func(v int) {
+			nodes[v].Receive(r, in[v])
+			clearPayloads(in[v])
+		})
+	}
+
+	res.Outputs = make([]any, n)
+	parallelNodes(func(v int) { res.Outputs[v] = nodes[v].Output() })
+	res.Stats.finalize()
+	return res, nil
+}
+
+func clearPayloads(ps [][]byte) {
+	for i := range ps {
+		ps[i] = nil
+	}
+}

@@ -1,0 +1,151 @@
+package congest
+
+import (
+	"fmt"
+	"sync"
+
+	"cycledetect/internal/graph"
+)
+
+// RunChannels executes program p with one goroutine per node and one
+// buffered channel per directed edge — the natural Go rendering of a CONGEST
+// network, and an α-synchronizer in disguise.
+//
+// Each node goroutine repeats, for every round: push this round's payload
+// into each outgoing channel, then pull one payload from each incoming
+// channel. Channels have capacity 1, so a sender blocks only while its
+// neighbor still owes a pull for the previous round; because each channel is
+// FIFO and carries exactly one payload per round (nil payloads included),
+// the r-th value pulled on a channel is exactly the r-th round's message,
+// and the execution is semantically identical to the lockstep engine even
+// though distant nodes may be in different rounds simultaneously.
+func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
+	topo, err := buildTopology(g, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	rounds := p.Rounds(n, g.M())
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = p.NewNode(topo.nodeInfo(v, cfg.Seed))
+	}
+
+	// ch[v][p] carries messages from v's port-p neighbor TO v.
+	ch := make([][]chan []byte, n)
+	for v := 0; v < n; v++ {
+		ch[v] = make([]chan []byte, g.Degree(v))
+		for pt := range ch[v] {
+			ch[v][pt] = make(chan []byte, 1)
+		}
+	}
+
+	res := &Result{IDs: topo.ids, Outputs: make([]any, n)}
+	res.Stats = newStats(rounds)
+
+	perNode := make([]Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			st := &perNode[v]
+			*st = newStats(rounds)
+			node := nodes[v]
+			ns := g.Neighbors(v)
+			deg := len(ns)
+			out := make([][]byte, deg)
+			in := make([][]byte, deg)
+			// A panicking node must not break the lockstep protocol — its
+			// neighbors still expect one payload per round — so node calls
+			// are isolated: a panic records an error and the node goes
+			// silent for the rest of the run, while pushes and pulls
+			// continue.
+			failed := false
+			safe := func(r int, what string, fn func()) {
+				if failed {
+					return
+				}
+				defer func() {
+					if p := recover(); p != nil {
+						failed = true
+						if errs[v] == nil {
+							errs[v] = fmt.Errorf("congest: node %d panicked in %s (round %d): %v",
+								topo.ids[v], what, r, p)
+						}
+					}
+				}()
+				fn()
+			}
+			for r := 1; r <= rounds; r++ {
+				clearPayloads(out)
+				safe(r, "Send", func() { node.Send(r, out) })
+				if failed {
+					clearPayloads(out)
+				}
+				for pt := 0; pt < deg; pt++ {
+					payload := out[pt]
+					if payload != nil {
+						bits := 8 * len(payload)
+						st.observe(r, bits)
+						if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits {
+							// Record the violation but still deliver a nil so
+							// neighbors do not deadlock; the run is aborted
+							// after all goroutines finish.
+							if errs[v] == nil {
+								errs[v] = &ErrBandwidth{
+									Round: r, From: topo.ids[v],
+									To:   topo.ids[ns[pt]],
+									Bits: bits, BudgetBit: cfg.BandwidthBits,
+								}
+							}
+							payload = nil
+						}
+					}
+					// Push into the neighbor's inbound channel for the edge.
+					ch[int(ns[pt])][topo.revPort[v][pt]] <- payload
+				}
+				for pt := 0; pt < deg; pt++ {
+					in[pt] = <-ch[v][pt]
+				}
+				safe(r, "Receive", func() { node.Receive(r, in) })
+			}
+			safe(rounds, "Output", func() { res.Outputs[v] = node.Output() })
+		}(v)
+	}
+	wg.Wait()
+
+	for v := 0; v < n; v++ {
+		if errs[v] != nil {
+			return nil, errs[v]
+		}
+		// MessagesSent per node was observed at the sender; merge into the
+		// global stats. Rounds and slice length already match.
+		res.Stats.merge(&perNode[v])
+	}
+	res.Stats.finalize()
+	return res, nil
+}
+
+// Engine selects an execution engine by name; it is the switch behind the
+// public API's Options.Engine.
+type Engine string
+
+// Engines.
+const (
+	EngineBSP      Engine = "bsp"
+	EngineChannels Engine = "channels"
+)
+
+// RunWith dispatches to the selected engine ("" means EngineBSP).
+func RunWith(engine Engine, g *graph.Graph, p Program, cfg Config) (*Result, error) {
+	switch engine {
+	case EngineBSP, "":
+		return Run(g, p, cfg)
+	case EngineChannels:
+		return RunChannels(g, p, cfg)
+	default:
+		return nil, fmt.Errorf("congest: unknown engine %q", engine)
+	}
+}

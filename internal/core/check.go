@@ -1,0 +1,300 @@
+// Package core implements the paper's contribution: the two-phase
+// distributed property-testing algorithm for Ck-freeness (Theorem 1).
+//
+// The deterministic heart is Algorithm 1 ("DetectCk"), a pruned
+// append-and-forward search for a k-cycle through a fixed candidate edge
+// e = {u,v}, implemented by checkState in this file. Two congest.Programs
+// wrap it:
+//
+//   - EdgeDetector (detector.go): Phase 2 alone, for a known edge — the
+//     deterministic detector of §3.2–3.4, also usable in naive
+//     (pruning-free) mode as the ablation baseline;
+//   - Tester (tester.go): the full randomized tester — Phase 1 rank
+//     selection, rank-prioritized concurrent checks, and the ⌈(e²/ε)·ln 3⌉
+//     repetitions that give Theorem 1's guarantee.
+package core
+
+import (
+	"sort"
+
+	"cycledetect/internal/combin"
+	"cycledetect/internal/wire"
+)
+
+// ID is a node identifier.
+type ID = wire.ID
+
+// Mode selects the forwarding policy of Phase 2.
+type Mode int
+
+const (
+	// ModePruned is Algorithm 1 as published: forward only a representative
+	// subset of sequences (lines 16–24), at most (k−t+1)^(t−1) per message.
+	ModePruned Mode = iota
+	// ModeNaive forwards every received sequence (S ← R), the strawman of
+	// §3.2 whose message size explodes with vertex-connectivity between the
+	// candidate edge and the rest of the graph. Used for the E8 ablation.
+	ModeNaive
+)
+
+// checkState is the per-node state of one Ck check for a candidate edge.
+// It is deliberately memoryless across rounds beyond the previous round's
+// receipts — exactly the information Algorithm 1 consumes — which is what
+// lets the full tester switch a node onto a lower-rank check mid-run.
+type checkState struct {
+	k     int
+	halfK int // ⌊k/2⌋, number of Phase-2 rounds
+	u, v  ID  // candidate edge endpoints, u < v
+	rank  uint64
+	myid  ID
+	mode  Mode
+
+	// seeder is true iff this node must seed its own ID at Phase-2 round 1:
+	// it is an endpoint of the candidate edge AND that edge really exists
+	// (the other endpoint is a neighbor). The existence check matters only
+	// for the standalone detector, whose caller may name a non-adjacent
+	// pair; Phase 1 always selects real edges.
+	seeder bool
+
+	recv      [][]ID // sequences received in round recvRound for this check
+	recvRound int    // 0 if none
+	sent      [][]ID // S sent at round sentRound (IDs appended), for even-k detection
+	sentRound int
+}
+
+func newCheckState(k int, u, v ID, rank uint64, myid ID, seeder bool, mode Mode) *checkState {
+	if u > v {
+		u, v = v, u
+	}
+	return &checkState{k: k, halfK: k / 2, u: u, v: v, rank: rank, myid: myid, seeder: seeder, mode: mode}
+}
+
+// sameEdge reports whether the check is for the candidate edge {a,b}.
+func (cs *checkState) sameEdge(a, b ID) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return cs.u == a && cs.v == b
+}
+
+// absorb records sequences received at Phase-2 round t for this check.
+// Receipts from multiple neighbors in the same round accumulate; a new round
+// discards the previous round's receipts (Algorithm 1 only ever reads the
+// immediately preceding round).
+func (cs *checkState) absorb(t int, seqs [][]ID) {
+	if t != cs.recvRound {
+		cs.recv = cs.recv[:0]
+		cs.recvRound = t
+	}
+	for _, s := range seqs {
+		cs.recv = append(cs.recv, s)
+	}
+}
+
+// sendSeqs computes the set S of sequences to broadcast at Phase-2 round t
+// (1-based), per Algorithm 1:
+//
+//   - round 1: the endpoints of the candidate edge seed their own ID
+//     (lines 2–7);
+//   - round t ≥ 2: R ← sequences received at round t−1, minus any containing
+//     myid (lines 11–12); keep a representative subset (lines 14–23, pruned
+//     mode) or all of R (naive mode); append myid (line 24).
+//
+// It returns nil when the node has nothing to send. The returned sequences
+// are recorded for the even-k final check (§3.3, see detect).
+func (cs *checkState) sendSeqs(t int) [][]ID {
+	if t == 1 {
+		if cs.seeder {
+			s := [][]ID{{cs.myid}}
+			cs.sent, cs.sentRound = s, t
+			return s
+		}
+		return nil
+	}
+	if cs.recvRound != t-1 || len(cs.recv) == 0 {
+		return nil
+	}
+	r := cs.cleanReceived(t - 1)
+	if len(r) == 0 {
+		return nil
+	}
+	var kept [][]ID
+	if cs.mode == ModeNaive {
+		kept = r
+	} else {
+		keptIdx := combin.Representatives(r, cs.k-t)
+		kept = make([][]ID, len(keptIdx))
+		for i, idx := range keptIdx {
+			kept[i] = r[idx]
+		}
+	}
+	out := make([][]ID, len(kept))
+	for i, l := range kept {
+		seq := make([]ID, 0, len(l)+1)
+		seq = append(seq, l...)
+		seq = append(seq, cs.myid)
+		out[i] = seq
+	}
+	cs.sent, cs.sentRound = out, t
+	return out
+}
+
+// cleanReceived returns the deduplicated receipts of the given round having
+// the expected length and not containing myid, in deterministic
+// (lexicographic) order. Set semantics match the paper's "R ← set of all
+// ordered sequences received"; the processing order of the greedy is
+// explicitly arbitrary (§3.3), so sorting is a valid, reproducible choice.
+func (cs *checkState) cleanReceived(wantLen int) [][]ID {
+	r := make([][]ID, 0, len(cs.recv))
+	for _, s := range cs.recv {
+		if len(s) != wantLen || containsID(s, cs.myid) {
+			continue
+		}
+		r = append(r, s)
+	}
+	sort.Slice(r, func(i, j int) bool { return lessSeq(r[i], r[j]) })
+	// Drop exact duplicates (same sequence received from several neighbors).
+	dedup := r[:0]
+	for i, s := range r {
+		if i == 0 || !equalSeq(s, r[i-1]) {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}
+
+// detect runs the final check of Algorithm 1 (lines 31–42) after the last
+// Phase-2 round. It returns whether a k-cycle through the candidate edge was
+// found and, if so, the cycle as an ordered list of k node IDs starting at
+// one endpoint of the candidate edge.
+//
+// Implementation of line 35 (even k): the paper's Lemma 2 requires pairing a
+// sequence L1 ∈ S (length k/2, containing myid) with a sequence L2 of length
+// k/2 received at round ⌊k/2⌋ that does not contain myid; see DESIGN.md §3.1
+// for why the literal transcription ("received at round ⌊k/2⌋−1") cannot be
+// meant. The size condition |L1 ∪ L2 ∪ {myid}| = k then reduces to exact
+// disjointness, which is what we check; every reported pair reconstructs a
+// genuine cycle because each sequence is a simple path ending at its sender
+// (Lemma 1), so the algorithm remains 1-sided.
+func (cs *checkState) detect() (bool, []ID) {
+	if cs.recvRound != cs.halfK {
+		return false, nil
+	}
+	last := cs.cleanReceived(cs.halfK)
+	if cs.k%2 == 1 {
+		// Odd k: two received sequences of length ⌊k/2⌋, fully disjoint,
+		// neither containing myid (already filtered by cleanReceived).
+		for i := 0; i < len(last); i++ {
+			for j := i + 1; j < len(last); j++ {
+				if cs.validPair(last[i], last[j]) {
+					return true, cs.assembleWitness(last[i], last[j])
+				}
+			}
+		}
+		return false, nil
+	}
+	// Even k: own S from the final send against final receipts.
+	if cs.sentRound != cs.halfK {
+		return false, nil
+	}
+	for _, l1 := range cs.sent {
+		if len(l1) != cs.halfK {
+			continue
+		}
+		for _, l2 := range last {
+			if cs.validPairEven(l1, l2) {
+				return true, cs.assembleWitnessEven(l1, l2)
+			}
+		}
+	}
+	return false, nil
+}
+
+// validPair checks the odd-k pair condition: disjoint sequences whose heads
+// are the two distinct endpoints of the candidate edge. (Lemma 1 already
+// forces each head into {u, v}; checking it explicitly keeps the detector
+// 1-sided even against malformed traffic.)
+func (cs *checkState) validPair(l1, l2 []ID) bool {
+	if intersectSeq(l1, l2) {
+		return false
+	}
+	h1, h2 := l1[0], l2[0]
+	return (h1 == cs.u && h2 == cs.v) || (h1 == cs.v && h2 == cs.u)
+}
+
+// validPairEven checks the even-k pair condition: l1 ∈ S ends with myid, l2
+// was received (no myid), they are disjoint apart from nothing, and their
+// heads are the two endpoints.
+func (cs *checkState) validPairEven(l1, l2 []ID) bool {
+	if l1[len(l1)-1] != cs.myid {
+		return false
+	}
+	if intersectSeq(l1, l2) {
+		return false
+	}
+	h1, h2 := l1[0], l2[0]
+	return (h1 == cs.u && h2 == cs.v) || (h1 == cs.v && h2 == cs.u)
+}
+
+// assembleWitness builds the odd-k cycle (x1..xl, myid, ym..y1): l1 forward,
+// own ID, l2 reversed. Each sequence's tail is its sender, a neighbor of
+// this node, and the heads are the candidate edge, so consecutive witness
+// entries are adjacent in the graph.
+func (cs *checkState) assembleWitness(l1, l2 []ID) []ID {
+	w := make([]ID, 0, cs.k)
+	w = append(w, l1...)
+	w = append(w, cs.myid)
+	for i := len(l2) - 1; i >= 0; i-- {
+		w = append(w, l2[i])
+	}
+	return w
+}
+
+// assembleWitnessEven builds the even-k cycle: l1 already ends with myid.
+func (cs *checkState) assembleWitnessEven(l1, l2 []ID) []ID {
+	w := make([]ID, 0, cs.k)
+	w = append(w, l1...)
+	for i := len(l2) - 1; i >= 0; i-- {
+		w = append(w, l2[i])
+	}
+	return w
+}
+
+func containsID(seq []ID, id ID) bool {
+	for _, x := range seq {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectSeq(a, b []ID) bool {
+	for _, x := range a {
+		if containsID(b, x) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalSeq(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessSeq(a, b []ID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/ptest"
+	"cycledetect/internal/wire"
+)
+
+// Tester is the full randomized property tester for Ck-freeness (Theorem 1).
+//
+// Each repetition spends one round on Phase 1 — every edge's lower-ID
+// endpoint draws a random rank and announces it across the edge — and ⌊k/2⌋
+// rounds on rank-prioritized Phase-2 checks: every node starts Algorithm 1
+// for its incident edge of minimum rank, discards traffic of higher-rank
+// checks, and defects to lower-rank checks it hears about. Exactly one check
+// message crosses each edge direction per round, so the CONGEST bandwidth
+// bound is preserved under full concurrency.
+//
+// With probability ≥ 1/e² all ranks are distinct (Lemma 5), in which case
+// the globally minimum-rank edge's check runs exactly like an isolated
+// EdgeDetector; on an ε-far instance that edge lies on a k-cycle with
+// probability ≥ ε (Lemma 4), so ⌈(e²/ε)·ln 3⌉ repetitions reject with
+// probability ≥ 2/3. A Ck-free graph is never rejected.
+type Tester struct {
+	K int
+	// Eps is the property-testing parameter; used only to derive the
+	// repetition count when Reps is zero.
+	Eps float64
+	// Reps overrides the repetition count when positive (tests and
+	// experiments use Reps=1 to measure per-repetition behavior).
+	Reps int
+	// Mode selects pruned (default) or naive forwarding.
+	Mode Mode
+}
+
+var _ congest.Program = (*Tester)(nil)
+
+// Repetitions returns the number of two-phase repetitions this tester runs.
+func (t *Tester) Repetitions() int {
+	if t.Reps > 0 {
+		return t.Reps
+	}
+	return ptest.Reps(t.Eps)
+}
+
+// RoundsPerRep returns the rounds spent per repetition: one Phase-1 rank
+// round plus ⌊k/2⌋ Phase-2 rounds.
+func (t *Tester) RoundsPerRep() int { return 1 + t.K/2 }
+
+// Rounds implements congest.Program; the total is independent of n and m.
+func (t *Tester) Rounds(n, m int) int { return t.Repetitions() * t.RoundsPerRep() }
+
+// NewNode builds the per-node state.
+func (t *Tester) NewNode(info congest.NodeInfo) congest.Node {
+	if t.K < 3 {
+		panic(fmt.Sprintf("core: Tester needs k >= 3, got %d", t.K))
+	}
+	if t.Reps <= 0 && (t.Eps <= 0 || t.Eps >= 1) {
+		panic("core: Tester needs Reps > 0 or Eps in (0,1)")
+	}
+	nn := uint64(info.N)
+	rankMax := nn * nn * nn * nn // [1, n⁴] ⊇ [1, m²]; see DESIGN.md §3.2
+	if rankMax == 0 {
+		rankMax = 1
+	}
+	return &testerNode{
+		prog:      t,
+		info:      info,
+		rankMax:   rankMax,
+		edgeRanks: make([]uint64, info.Degree()),
+		mine:      make([]bool, info.Degree()),
+	}
+}
+
+type testerNode struct {
+	prog    *Tester
+	info    congest.NodeInfo
+	rankMax uint64
+
+	// Per-repetition Phase-1 state.
+	edgeRanks []uint64 // rank of the incident edge on each port
+	mine      []bool   // whether this node drew the rank for that port
+
+	cur      *checkState // current (lowest-rank) check, nil before selection
+	rejected bool
+	witness  []ID
+	metrics  NodeMetrics
+}
+
+// phase decomposes a global round number into (repetition, local round);
+// local round 0 is the Phase-1 rank round, 1..⌊k/2⌋ are Phase-2 rounds.
+func (n *testerNode) phase(round int) (rep, local int) {
+	per := n.prog.RoundsPerRep()
+	return (round - 1) / per, (round - 1) % per
+}
+
+func (n *testerNode) Send(round int, out [][]byte) {
+	_, local := n.phase(round)
+	if local == 0 {
+		n.startRepetition(out)
+		return
+	}
+	if local == 1 {
+		n.selectCheck()
+	}
+	if n.cur == nil {
+		return
+	}
+	seqs := n.cur.sendSeqs(local)
+	n.metrics.observeSend(local, len(seqs), n.prog.K/2)
+	if len(seqs) == 0 {
+		return
+	}
+	payload := wire.EncodeCheck(&wire.Check{U: n.cur.u, V: n.cur.v, Rank: n.cur.rank, Seqs: seqs})
+	for p := range out {
+		out[p] = payload
+	}
+}
+
+// startRepetition implements Phase 1's rank draw: each edge is assigned to
+// its smaller-ID endpoint, which draws a uniform rank in [1, rankMax] and
+// announces it across the edge.
+func (n *testerNode) startRepetition(out [][]byte) {
+	n.cur = nil
+	for p, nbr := range n.info.NeighborIDs {
+		n.mine[p] = n.info.ID < nbr
+		n.edgeRanks[p] = 0
+		if n.mine[p] {
+			r := n.info.Rand.Rank(n.rankMax)
+			n.edgeRanks[p] = r
+			out[p] = wire.EncodeRank(wire.Rank{Rank: r})
+		}
+	}
+}
+
+// selectCheck picks the incident edge of minimum (rank, edge) and starts a
+// check for it. Ties are broken by the canonical edge order (min ID, max
+// ID), which is globally consistent.
+func (n *testerNode) selectCheck() {
+	best := -1
+	var bu, bv ID
+	for p, nbr := range n.info.NeighborIDs {
+		u, v := canonEdge(n.info.ID, nbr)
+		if best == -1 || lessCheck(n.edgeRanks[p], u, v, n.edgeRanks[best], bu, bv) {
+			best, bu, bv = p, u, v
+		}
+	}
+	if best == -1 {
+		return // isolated node; cannot happen in a connected graph with n >= 2
+	}
+	// The selected edge is incident, so this node is an endpoint of a real
+	// edge and must seed.
+	n.cur = newCheckState(n.prog.K, bu, bv, n.edgeRanks[best], n.info.ID, true, n.prog.Mode)
+	n.metrics.ChecksStarted++
+}
+
+func (n *testerNode) Receive(round int, in [][]byte) {
+	_, local := n.phase(round)
+	if local == 0 {
+		for p, payload := range in {
+			if payload == nil {
+				continue
+			}
+			r, err := wire.DecodeRank(payload)
+			if err != nil {
+				continue
+			}
+			n.edgeRanks[p] = r.Rank
+		}
+		return
+	}
+	for _, payload := range in {
+		if payload == nil {
+			continue
+		}
+		c, err := wire.DecodeCheck(payload)
+		if err != nil || wire.Kind(payload) != wire.KindCheck {
+			continue
+		}
+		n.consider(local, c)
+	}
+	if local == n.prog.K/2 && n.cur != nil {
+		if reject, wit := n.cur.detect(); reject && !n.rejected {
+			n.rejected = true
+			n.witness = wit
+		}
+	}
+}
+
+// consider applies the paper's preemption rule to an incoming check message:
+// discard if its check ranks worse than the current one, absorb if it is the
+// same check, and switch to it if it ranks better (§3.1).
+func (n *testerNode) consider(local int, c *wire.Check) {
+	u, v := canonEdge(c.U, c.V)
+	if n.cur != nil {
+		if n.cur.sameEdge(u, v) {
+			n.cur.absorb(local, c.Seqs)
+			return
+		}
+		if !lessCheck(c.Rank, u, v, n.cur.rank, n.cur.u, n.cur.v) {
+			return // strictly worse: discard (line "r(e') > r(e)")
+		}
+		n.metrics.Switches++
+	}
+	// Joining a check mid-flight: the seeding round has already passed, so
+	// the seeder flag is moot; pass false for clarity.
+	n.cur = newCheckState(n.prog.K, u, v, c.Rank, n.info.ID, false, n.prog.Mode)
+	n.cur.absorb(local, c.Seqs)
+}
+
+func (n *testerNode) Output() any {
+	return Verdict{Reject: n.rejected, Witness: n.witness, Metrics: n.metrics}
+}
+
+// canonEdge orders an ID pair.
+func canonEdge(a, b ID) (ID, ID) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// lessCheck is the global priority order on checks: lower rank first, ties
+// by canonical edge.
+func lessCheck(r1 uint64, u1, v1 ID, r2 uint64, u2, v2 ID) bool {
+	if r1 != r2 {
+		return r1 < r2
+	}
+	if u1 != u2 {
+		return u1 < u2
+	}
+	return v1 < v2
+}

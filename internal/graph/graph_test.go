@@ -1,0 +1,396 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cycledetect/internal/xrand"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if !b.AddEdge(0, 1) {
+		t.Fatal("new edge reported as duplicate")
+	}
+	if b.AddEdge(1, 0) {
+		t.Fatal("reversed duplicate accepted")
+	}
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if g.HasEdge(0, 3) || g.HasEdge(2, 2) {
+		t.Fatal("phantom edge")
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Fatalf("degree(1)=%d want 2", d)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := map[string]func(){
+		"self-loop":    func() { NewBuilder(3).AddEdge(1, 1) },
+		"out of range": func() { NewBuilder(3).AddEdge(0, 3) },
+		"negative":     func() { NewBuilder(3).AddEdge(-1, 0) },
+		"negative n":   func() { NewBuilder(-1) },
+		"2-cycle":      func() { NewBuilder(3).AddCycle(0, 1) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborsSortedAndConsistent(t *testing.T) {
+	rng := xrand.New(2)
+	g := GNM(30, 120, rng)
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", v, ns)
+			}
+		}
+		for _, w := range ns {
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("asymmetric adjacency %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := xrand.New(3)
+	g := GNM(25, 80, rng)
+	h := FromEdges(g.N(), g.Edges())
+	if !Equal(g, h) {
+		t.Fatal("FromEdges(Edges()) is not identity")
+	}
+	sum := 0
+	for v := 0; v < g.N(); v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.M() {
+		t.Fatalf("handshake lemma violated: %d != %d", sum, 2*g.M())
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	rng := xrand.New(4)
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"C7", Cycle(7), 7, 7},
+		{"P9", Path(9), 9, 8},
+		{"star", Star(6), 6, 5},
+		{"K6", Complete(6), 6, 15},
+		{"K3,4", CompleteBipartite(3, 4), 7, 12},
+		{"grid3x4", Grid(3, 4), 12, 17},
+		{"torus3x3", Torus(3, 3), 9, 18},
+		{"Q3", Hypercube(3), 8, 12},
+		{"wheel6", Wheel(6), 6, 10},
+		{"theta4x3", Theta(4, 3, rng), 2 + 4*2, 4 * 3},
+		{"barbell4,2", Barbell(4, 2), 9, 14},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m {
+			t.Errorf("%s: got (n=%d,m=%d) want (%d,%d)", c.name, c.g.N(), c.g.M(), c.n, c.m)
+		}
+		if !Connected(c.g) {
+			t.Errorf("%s: not connected", c.name)
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := xrand.New(5)
+	for _, n := range []int{1, 2, 3, 10, 50, 200} {
+		g := RandomTree(n, rng)
+		if g.M() != n-1 && n > 0 {
+			if !(n == 1 && g.M() == 0) {
+				t.Fatalf("n=%d: tree has %d edges", n, g.M())
+			}
+		}
+		if !Connected(g) {
+			t.Fatalf("n=%d: tree not connected", n)
+		}
+		if Girth(g) != 0 {
+			t.Fatalf("n=%d: tree has a cycle", n)
+		}
+	}
+}
+
+func TestGNMEdgeCount(t *testing.T) {
+	rng := xrand.New(6)
+	for _, c := range []struct{ n, m int }{{10, 0}, {10, 45}, {20, 50}} {
+		g := GNM(c.n, c.m, rng)
+		if g.M() != c.m {
+			t.Fatalf("GNM(%d,%d) has %d edges", c.n, c.m, g.M())
+		}
+	}
+}
+
+func TestConnectedGNM(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		max := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(max-n+2)
+		g := ConnectedGNM(n, m, rng)
+		if g.M() != m || !Connected(g) {
+			t.Fatalf("ConnectedGNM(%d,%d): m=%d connected=%v", n, m, g.M(), Connected(g))
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := xrand.New(8)
+	for _, c := range []struct{ n, d int }{{10, 3}, {12, 4}, {8, 5}} {
+		g := RandomRegular(c.n, c.d, rng)
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != c.d {
+				t.Fatalf("n=%d d=%d: degree(%d)=%d", c.n, c.d, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestGirthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"C5", Cycle(5), 5},
+		{"C9", Cycle(9), 9},
+		{"K4", Complete(4), 3},
+		{"K3,3", CompleteBipartite(3, 3), 4},
+		{"grid", Grid(4, 4), 4},
+		{"P5", Path(5), 0},
+		{"Q4", Hypercube(4), 4},
+		{"wheel7", Wheel(7), 3},
+	}
+	for _, c := range cases {
+		if got := Girth(c.g); got != c.want {
+			t.Errorf("%s: girth=%d want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	if !IsBipartite(Grid(3, 5)) || !IsBipartite(Hypercube(4)) || !IsBipartite(Cycle(8)) {
+		t.Fatal("bipartite graph misclassified")
+	}
+	if IsBipartite(Cycle(7)) || IsBipartite(Complete(3)) || IsBipartite(Wheel(6)) {
+		t.Fatal("odd-cycle graph classified bipartite")
+	}
+}
+
+func TestThetaStructure(t *testing.T) {
+	rng := xrand.New(9)
+	g := Theta(5, 4, rng)
+	if g.Degree(0) != 5 || g.Degree(1) != 5 {
+		t.Fatalf("terminal degrees %d,%d want 5,5", g.Degree(0), g.Degree(1))
+	}
+	// Each pair of paths forms a C8; girth is 2*length.
+	if got := Girth(g); got != 8 {
+		t.Fatalf("girth=%d want 8", got)
+	}
+	d := BFSDistances(g, 0)
+	if d[1] != 4 {
+		t.Fatalf("terminal distance %d want 4", d[1])
+	}
+}
+
+func TestFarFromCkFreeCertificate(t *testing.T) {
+	rng := xrand.New(10)
+	for _, k := range []int{3, 4, 5, 7} {
+		for _, eps := range []float64{0.02, 0.05, 0.1} {
+			if eps >= 1.0/float64(k) {
+				continue
+			}
+			g, q := FarFromCkFree(80, k, eps, rng)
+			if !Connected(g) {
+				t.Fatalf("k=%d eps=%.2f: disconnected", k, eps)
+			}
+			if float64(q) <= eps*float64(g.M()) {
+				t.Fatalf("k=%d eps=%.2f: q=%d m=%d not far", k, eps, q, g.M())
+			}
+			if g.N() != 80 {
+				t.Fatalf("n=%d want 80", g.N())
+			}
+		}
+	}
+}
+
+func TestPlantedCycleContainsIt(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 12 + rng.Intn(20)
+		k := 3 + rng.Intn(6)
+		g, e := PlantedCycle(n, k, rng.Intn(5), rng)
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("planted edge %v missing", e)
+		}
+		if !Connected(g) {
+			t.Fatal("planted graph disconnected")
+		}
+	}
+}
+
+func TestBehrendLikeTriangleStructure(t *testing.T) {
+	g := BehrendLike(10, xrand.New(12))
+	if g.N() != 30 {
+		t.Fatalf("n=%d want 30", g.N())
+	}
+	// Every edge of a Behrend-like graph lies in at least the planted
+	// triangle; verify some triangles exist and the graph is tripartite-ish
+	// (girth 3).
+	if Girth(g) != 3 {
+		t.Fatalf("girth=%d want 3", Girth(g))
+	}
+}
+
+func TestAPFreeSet(t *testing.T) {
+	s := apFreeSet(60)
+	if len(s) == 0 {
+		t.Fatal("empty AP-free set")
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			for l := j + 1; l < len(s); l++ {
+				if s[i]+s[l] == 2*s[j] {
+					t.Fatalf("3-AP found: %d %d %d", s[i], s[j], s[l])
+				}
+			}
+		}
+	}
+}
+
+func TestComponentsAndSubgraph(t *testing.T) {
+	a, b := Cycle(4), Path(3)
+	g := DisjointUnion(a, b)
+	comps := Components(g)
+	if len(comps) != 2 {
+		t.Fatalf("components=%d want 2", len(comps))
+	}
+	// Drop all cycle edges: 4+2 edges -> 2 edges.
+	h := Subgraph(g, func(e Edge) bool { return e.U >= 4 })
+	if h.M() != 2 {
+		t.Fatalf("subgraph m=%d want 2", h.M())
+	}
+	u := Union(g, g)
+	if !Equal(u, g) {
+		t.Fatal("Union(g,g) != g")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(Star(6))
+	if h[5] != 1 || h[1] != 5 {
+		t.Fatalf("star histogram wrong: %v", h)
+	}
+}
+
+// TestBuildQuick property: for arbitrary edge sets over a small vertex
+// range, Build preserves exactly the deduplicated canonical edge set.
+func TestBuildQuick(t *testing.T) {
+	f := func(pairs []struct{ U, V uint8 }) bool {
+		const n = 12
+		b := NewBuilder(n)
+		want := make(map[Edge]bool)
+		for _, p := range pairs {
+			u, v := int(p.U%n), int(p.V%n)
+			if u == v {
+				continue
+			}
+			b.AddEdge(u, v)
+			want[Edge{u, v}.Canon()] = true
+		}
+		g := b.Build()
+		if g.M() != len(want) {
+			return false
+		}
+		for e := range want {
+			if !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(5)
+	h := g.Clone()
+	if !Equal(g, h) {
+		t.Fatal("clone differs")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	// C_n(1) is the plain cycle.
+	if !Equal(Circulant(7, 1), Cycle(7)) {
+		t.Fatal("C7(1) != C7")
+	}
+	// C_n(1,2): triangles everywhere, girth 3, 4-regular for n >= 5.
+	g := Circulant(8, 1, 2)
+	if Girth(g) != 3 {
+		t.Fatalf("C8(1,2) girth %d", Girth(g))
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("C8(1,2) degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	// Negative and wrapped jumps normalize.
+	if !Equal(Circulant(9, -1), Cycle(9)) || !Equal(Circulant(9, 10), Cycle(9)) {
+		t.Fatal("jump normalization broken")
+	}
+	// Duplicate jumps collapse.
+	if !Equal(Circulant(6, 1, 1, 7), Cycle(6)) {
+		t.Fatal("duplicate jumps not collapsed")
+	}
+	// n/2 jump gives a perfect matching layer, still simple.
+	m := Circulant(6, 3)
+	if m.M() != 3 {
+		t.Fatalf("C6(3) has %d edges want 3", m.M())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero jump accepted")
+			}
+		}()
+		Circulant(6, 6)
+	}()
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 4)
+	if g.N() != 9 || g.M() != 10+4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !Connected(g) || Girth(g) != 3 {
+		t.Fatal("lollipop shape wrong")
+	}
+	if g.Degree(g.N()-1) != 1 {
+		t.Fatal("tail endpoint degree wrong")
+	}
+}

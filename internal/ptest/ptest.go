@@ -1,0 +1,106 @@
+// Package ptest implements the property-testing framework of §2.2: the
+// ε-farness notion of the sparse model, the amplification arithmetic behind
+// Theorem 1, and farness certification via edge-disjoint cycle packings
+// (Lemma 4).
+package ptest
+
+import (
+	"math"
+
+	"cycledetect/internal/graph"
+)
+
+// Reps returns the number of repetitions of the two-phase procedure needed
+// for the 2/3 detection guarantee on an ε-far instance: each repetition
+// succeeds with probability at least ε/e² (Lemmas 4+5), so ⌈(e²/ε)·ln 3⌉
+// repetitions fail with probability at most (1−ε/e²)^reps ≤ e^{−ln 3} = 1/3.
+func Reps(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("ptest: eps must be in (0,1)")
+	}
+	return int(math.Ceil(math.E * math.E / eps * math.Log(3)))
+}
+
+// RepSuccessLowerBound is the paper's per-repetition detection probability
+// lower bound ε/e² for a graph that is ε-far from Ck-free.
+func RepSuccessLowerBound(eps float64) float64 {
+	return eps / (math.E * math.E)
+}
+
+// FailureUpperBound returns the paper's bound on the probability that all
+// reps repetitions miss on an ε-far instance.
+func FailureUpperBound(eps float64, reps int) float64 {
+	return math.Pow(1-RepSuccessLowerBound(eps), float64(reps))
+}
+
+// PackingLowerBound is Lemma 4 instantiated for H = Ck: a graph that is
+// ε-far from Ck-free contains at least ε·m/k edge-disjoint k-cycles.
+func PackingLowerBound(eps float64, m, k int) float64 {
+	return eps * float64(m) / float64(k)
+}
+
+// FarnessFromPacking converts an edge-disjoint k-cycle packing of size q
+// into a farness certificate: deleting fewer than q edges leaves some
+// planted cycle intact, so the graph is ε-far from Ck-free for every
+// ε < q/m. It returns that threshold q/m (0 if the graph has no edges).
+func FarnessFromPacking(q, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	return float64(q) / float64(m)
+}
+
+// ExactDistance computes the exact edit distance to Ck-freeness — the
+// minimum number of edge deletions that removes every k-cycle — by brute
+// force over deletion sets in increasing size. Adding edges never helps for
+// a monotone-decreasing property like Ck-freeness, so deletions suffice.
+// Exponential; intended for graphs with at most ~16 relevant edges in tests.
+//
+// hasCk must report whether a graph contains a k-cycle (supplied by the
+// central package to avoid an import cycle).
+func ExactDistance(g *graph.Graph, hasCk func(*graph.Graph) bool) int {
+	if !hasCk(g) {
+		return 0
+	}
+	edges := g.Edges()
+	for size := 1; size <= len(edges); size++ {
+		if tryDeletions(g, edges, size, hasCk) {
+			return size
+		}
+	}
+	return len(edges)
+}
+
+func tryDeletions(g *graph.Graph, edges []graph.Edge, size int, hasCk func(*graph.Graph) bool) bool {
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		drop := make(map[graph.Edge]bool, size)
+		for _, i := range idx {
+			drop[edges[i]] = true
+		}
+		h := graph.Subgraph(g, func(e graph.Edge) bool { return !drop[e] })
+		if !hasCk(h) {
+			return true
+		}
+		// Next combination.
+		i := size - 1
+		for i >= 0 && idx[i] == len(edges)-size+i {
+			i--
+		}
+		if i < 0 {
+			return false
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// IsFar reports whether g is eps-far from Ck-free given its exact distance.
+func IsFar(distance, m int, eps float64) bool {
+	return float64(distance) > eps*float64(m)
+}

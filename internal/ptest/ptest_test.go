@@ -1,0 +1,122 @@
+package ptest
+
+import (
+	"math"
+	"testing"
+
+	"cycledetect/internal/central"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+func TestRepsFormula(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.25, 0.1, 0.05, 0.01} {
+		reps := Reps(eps)
+		want := int(math.Ceil(math.E * math.E / eps * math.Log(3)))
+		if reps != want {
+			t.Fatalf("eps=%.2f: reps=%d want %d", eps, reps, want)
+		}
+		// The amplified failure bound must be at most 1/3.
+		if fb := FailureUpperBound(eps, reps); fb > 1.0/3.0+1e-12 {
+			t.Fatalf("eps=%.2f: failure bound %.4f > 1/3", eps, fb)
+		}
+	}
+}
+
+func TestRepsScalesInverse(t *testing.T) {
+	// O(1/ε): halving eps roughly doubles reps.
+	r1, r2 := Reps(0.2), Reps(0.1)
+	if r2 < 2*r1-2 || r2 > 2*r1+2 {
+		t.Fatalf("reps(0.1)=%d not ~2*reps(0.2)=%d", r2, r1)
+	}
+}
+
+func TestRepsPanics(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%v: expected panic", eps)
+				}
+			}()
+			Reps(eps)
+		}()
+	}
+}
+
+func TestPackingLowerBound(t *testing.T) {
+	if got := PackingLowerBound(0.1, 100, 5); got != 2.0 {
+		t.Fatalf("got %v want 2", got)
+	}
+	if FarnessFromPacking(5, 100) != 0.05 {
+		t.Fatal("farness threshold wrong")
+	}
+	if FarnessFromPacking(5, 0) != 0 {
+		t.Fatal("empty graph farness")
+	}
+}
+
+func TestExactDistanceKnownGraphs(t *testing.T) {
+	has3 := func(g *graph.Graph) bool { return central.HasCk(g, 3) }
+	has4 := func(g *graph.Graph) bool { return central.HasCk(g, 4) }
+	// A triangle needs one deletion.
+	if d := ExactDistance(graph.Cycle(3), has3); d != 1 {
+		t.Fatalf("triangle distance %d want 1", d)
+	}
+	// Two disjoint triangles need two.
+	g := graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3))
+	if d := ExactDistance(g, has3); d != 2 {
+		t.Fatalf("two triangles distance %d want 2", d)
+	}
+	// K4 contains 3 C4s sharing edges; deleting... every C4 in K4 uses 4 of
+	// the 6 edges; one deletion kills at most... verify against brute truth.
+	if d := ExactDistance(graph.Complete(4), has4); d != 2 {
+		t.Fatalf("K4 C4-distance %d want 2", d)
+	}
+	// A C4-free graph has distance 0.
+	if d := ExactDistance(graph.Cycle(5), has4); d != 0 {
+		t.Fatalf("C5 C4-distance %d want 0", d)
+	}
+}
+
+func TestExactDistanceVsPacking(t *testing.T) {
+	// Packing is always a lower bound on the exact distance.
+	rng := xrand.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNM(8, 12+rng.Intn(4), rng)
+		for _, k := range []int{3, 4} {
+			kk := k
+			d := ExactDistance(g, func(h *graph.Graph) bool { return central.HasCk(h, kk) })
+			q := len(central.GreedyCyclePacking(g, k))
+			if q > d {
+				t.Fatalf("packing %d exceeds distance %d", q, d)
+			}
+			if d > 0 && !IsFar(d, g.M(), 0.0) {
+				t.Fatal("IsFar(positive distance, eps=0) must hold")
+			}
+		}
+	}
+}
+
+func TestGeneratorFarnessIsExact(t *testing.T) {
+	// For small far instances, verify the generator's certificate against
+	// the exact distance: q disjoint cycles mean distance exactly q when no
+	// accidental extra cycles arise — at minimum, distance >= q.
+	rng := xrand.New(2)
+	k := 4
+	g, q := graph.FarFromCkFree(16, k, 0.05, rng)
+	d := ExactDistance(g, func(h *graph.Graph) bool { return central.HasCk(h, k) })
+	if d < q {
+		t.Fatalf("exact distance %d below certificate %d", d, q)
+	}
+}
+
+func TestRepSuccessLowerBound(t *testing.T) {
+	if RepSuccessLowerBound(0.1) >= 0.1 || RepSuccessLowerBound(0.1) <= 0 {
+		t.Fatal("per-rep bound out of range")
+	}
+	e2 := math.E * math.E
+	if math.Abs(RepSuccessLowerBound(0.5)-0.5/e2) > 1e-15 {
+		t.Fatal("per-rep bound formula wrong")
+	}
+}

@@ -1,0 +1,80 @@
+// Package trace records round-by-round events of a simulation for human
+// inspection. It exists to reproduce the paper's Figure 1 walkthrough (the
+// C5 through {u,v}) as an executable artifact, and to debug node programs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one observation made by a node during a run.
+type Event struct {
+	Round int
+	Node  int64 // node ID
+	Kind  string
+	Text  string
+}
+
+// Log is a concurrency-safe event collector. The zero value is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event.
+func (l *Log) Add(round int, node int64, kind, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{
+		Round: round,
+		Node:  node,
+		Kind:  kind,
+		Text:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded events sorted by (round, node, kind, text) so
+// that output is deterministic regardless of goroutine scheduling.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Event(nil), l.events...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Text < b.Text
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Format renders the log as indented text grouped by round.
+func (l *Log) Format() string {
+	var sb strings.Builder
+	round := -1
+	for _, e := range l.Events() {
+		if e.Round != round {
+			round = e.Round
+			fmt.Fprintf(&sb, "round %d:\n", round)
+		}
+		fmt.Fprintf(&sb, "  node %-4d %-8s %s\n", e.Node, e.Kind, e.Text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndFormat(t *testing.T) {
+	var l Log
+	l.Add(2, 5, "send", "hello %d", 7)
+	l.Add(1, 3, "recv", "world")
+	if l.Len() != 2 {
+		t.Fatalf("len=%d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Round != 1 || evs[1].Round != 2 {
+		t.Fatalf("not sorted by round: %+v", evs)
+	}
+	out := l.Format()
+	if !strings.Contains(out, "round 1:") || !strings.Contains(out, "hello 7") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if strings.Index(out, "round 1:") > strings.Index(out, "round 2:") {
+		t.Fatal("rounds out of order")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	var l Log
+	l.Add(1, 2, "a", "x")
+	l.Add(1, 1, "b", "y")
+	l.Add(1, 1, "a", "z")
+	evs := l.Events()
+	if evs[0].Node != 1 || evs[0].Kind != "a" || evs[1].Kind != "b" || evs[2].Node != 2 {
+		t.Fatalf("sort order wrong: %+v", evs)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.Add(i%5, int64(i), "k", "e%d", i)
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 50 {
+		t.Fatalf("lost events: %d", l.Len())
+	}
+}

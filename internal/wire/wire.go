@@ -1,0 +1,212 @@
+// Package wire defines the on-the-wire encoding of CONGEST messages.
+//
+// The CONGEST model limits messages to O(log n) bits per edge per round, so
+// the simulator must be able to measure the exact size of every message. All
+// algorithm messages are therefore serialized to byte slices with varint
+// coding, and the simulator charges 8 bits per byte against the bandwidth
+// budget.
+//
+// Two message kinds exist:
+//
+//   - Rank: Phase-1 announcement of an edge's random rank, sent by the
+//     endpoint the edge is assigned to (the smaller-ID endpoint).
+//   - Check: one Phase-2 round of Algorithm 1 for a candidate edge — the
+//     candidate edge's endpoint IDs, its rank, and the set S of ID sequences.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ID is a node identifier. The paper gives nodes distinct IDs from a range
+// polynomial in n, so an ID always fits in O(log n) bits; varint coding keeps
+// small IDs small on the wire.
+type ID = int64
+
+// Message kind tags.
+const (
+	KindRank  = 1
+	KindCheck = 2
+	KindProbe = 3
+)
+
+// Rank is a Phase-1 rank announcement for the edge between sender and
+// receiver (the edge is implicit in the port the message arrives on).
+type Rank struct {
+	Rank uint64
+}
+
+// Check is one Phase-2 message of Algorithm 1.
+type Check struct {
+	U, V ID     // candidate edge endpoints, U < V
+	Rank uint64 // the edge's Phase-1 rank (used for preemption)
+	Seqs [][]ID // the set S of ordered ID sequences
+}
+
+var (
+	// ErrTruncated is returned when a payload ends mid-field.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrKind is returned when a payload has an unexpected kind tag.
+	ErrKind = errors.New("wire: unexpected message kind")
+)
+
+// EncodeRank serializes r.
+func EncodeRank(r Rank) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, KindRank)
+	buf = binary.AppendUvarint(buf, r.Rank)
+	return buf
+}
+
+// DecodeRank parses a Rank payload.
+func DecodeRank(p []byte) (Rank, error) {
+	if len(p) == 0 {
+		return Rank{}, ErrTruncated
+	}
+	if p[0] != KindRank {
+		return Rank{}, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindRank)
+	}
+	v, n := binary.Uvarint(p[1:])
+	if n <= 0 {
+		return Rank{}, ErrTruncated
+	}
+	return Rank{Rank: v}, nil
+}
+
+// EncodeCheck serializes c. Sequence IDs are encoded with unsigned varints;
+// fake IDs (negative) are an internal device of Algorithm 1 and are never
+// transmitted, so encoding panics if one leaks into a message — that would
+// be an algorithm bug, not an I/O condition.
+func EncodeCheck(c *Check) []byte {
+	buf := make([]byte, 0, 16+8*len(c.Seqs)*4)
+	buf = append(buf, KindCheck)
+	buf = appendID(buf, c.U)
+	buf = appendID(buf, c.V)
+	buf = binary.AppendUvarint(buf, c.Rank)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Seqs)))
+	for _, seq := range c.Seqs {
+		buf = binary.AppendUvarint(buf, uint64(len(seq)))
+		for _, id := range seq {
+			buf = appendID(buf, id)
+		}
+	}
+	return buf
+}
+
+func appendID(buf []byte, id ID) []byte {
+	if id < 0 {
+		panic(fmt.Sprintf("wire: negative (fake) ID %d must not be transmitted", id))
+	}
+	return binary.AppendUvarint(buf, uint64(id))
+}
+
+// DecodeCheck parses a Check payload.
+func DecodeCheck(p []byte) (*Check, error) {
+	if len(p) == 0 {
+		return nil, ErrTruncated
+	}
+	if p[0] != KindCheck {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindCheck)
+	}
+	p = p[1:]
+	var c Check
+	var err error
+	if c.U, p, err = readID(p); err != nil {
+		return nil, err
+	}
+	if c.V, p, err = readID(p); err != nil {
+		return nil, err
+	}
+	rank, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	c.Rank = rank
+	cnt, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	p = p[n:]
+	if cnt > uint64(len(p))+1 {
+		// Each sequence costs at least one byte (its length varint), so a
+		// count beyond the remaining bytes means corruption; reject before
+		// allocating.
+		return nil, ErrTruncated
+	}
+	c.Seqs = make([][]ID, cnt)
+	for i := range c.Seqs {
+		ln, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, ErrTruncated
+		}
+		p = p[n:]
+		if ln > uint64(len(p)) {
+			return nil, ErrTruncated
+		}
+		seq := make([]ID, ln)
+		for j := range seq {
+			if seq[j], p, err = readID(p); err != nil {
+				return nil, err
+			}
+		}
+		c.Seqs[i] = seq
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(p))
+	}
+	return &c, nil
+}
+
+func readID(p []byte) (ID, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, ErrTruncated
+	}
+	return ID(v), p[n:], nil
+}
+
+// Probe is the single-ID message of the Censor-Hillel-style triangle tester
+// (the k=3 baseline this paper generalizes): "is this node your neighbor?".
+type Probe struct {
+	Node ID
+}
+
+// EncodeProbe serializes p.
+func EncodeProbe(p Probe) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, KindProbe)
+	return appendID(buf, p.Node)
+}
+
+// DecodeProbe parses a Probe payload.
+func DecodeProbe(p []byte) (Probe, error) {
+	if len(p) == 0 {
+		return Probe{}, ErrTruncated
+	}
+	if p[0] != KindProbe {
+		return Probe{}, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindProbe)
+	}
+	id, rest, err := readID(p[1:])
+	if err != nil {
+		return Probe{}, err
+	}
+	if len(rest) != 0 {
+		return Probe{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return Probe{Node: id}, nil
+}
+
+// Kind returns the kind tag of a payload, or 0 for an empty payload.
+func Kind(p []byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// SizeBits returns the size of a payload in bits as charged against the
+// CONGEST bandwidth budget.
+func SizeBits(p []byte) int { return 8 * len(p) }

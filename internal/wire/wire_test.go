@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankRoundTrip(t *testing.T) {
+	for _, r := range []uint64{0, 1, 127, 128, 1 << 20, math.MaxUint64} {
+		p := EncodeRank(Rank{Rank: r})
+		got, err := DecodeRank(p)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if got.Rank != r {
+			t.Fatalf("rank %d decoded as %d", r, got.Rank)
+		}
+		if Kind(p) != KindRank {
+			t.Fatalf("kind=%d", Kind(p))
+		}
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	cases := []*Check{
+		{U: 0, V: 1, Rank: 0, Seqs: nil},
+		{U: 3, V: 99, Rank: 42, Seqs: [][]ID{{3}}},
+		{U: 7, V: 8, Rank: 1 << 40, Seqs: [][]ID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}},
+		{U: 1000000, V: 2000000, Rank: 5, Seqs: [][]ID{{}, {1}, {1, 2}}},
+	}
+	for _, c := range cases {
+		p := EncodeCheck(c)
+		got, err := DecodeCheck(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got.U != c.U || got.V != c.V || got.Rank != c.Rank {
+			t.Fatalf("header mismatch: %+v vs %+v", got, c)
+		}
+		if len(got.Seqs) != len(c.Seqs) {
+			t.Fatalf("seq count %d vs %d", len(got.Seqs), len(c.Seqs))
+		}
+		for i := range c.Seqs {
+			if len(got.Seqs[i]) != len(c.Seqs[i]) {
+				t.Fatalf("seq %d length mismatch", i)
+			}
+			for j := range c.Seqs[i] {
+				if got.Seqs[i][j] != c.Seqs[i][j] {
+					t.Fatalf("seq %d elem %d: %d vs %d", i, j, got.Seqs[i][j], c.Seqs[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestCheckRoundTripQuick(t *testing.T) {
+	f := func(u, v uint32, rank uint64, raw [][]uint16) bool {
+		c := &Check{U: ID(u), V: ID(v), Rank: rank}
+		for _, rs := range raw {
+			seq := make([]ID, len(rs))
+			for i, x := range rs {
+				seq[i] = ID(x)
+			}
+			c.Seqs = append(c.Seqs, seq)
+		}
+		got, err := DecodeCheck(EncodeCheck(c))
+		if err != nil {
+			return false
+		}
+		if got.U != c.U || got.V != c.V || got.Rank != c.Rank || len(got.Seqs) != len(c.Seqs) {
+			return false
+		}
+		for i := range c.Seqs {
+			if len(got.Seqs[i]) != len(c.Seqs[i]) {
+				return false
+			}
+			for j := range c.Seqs[i] {
+				if got.Seqs[i][j] != c.Seqs[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeCheck(&Check{U: 5, V: 9, Rank: 77, Seqs: [][]ID{{1, 2}, {3, 4}}})
+	// Every strict prefix must fail (varints make most prefixes invalid).
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeCheck(good[:cut]); err == nil {
+			t.Fatalf("prefix of length %d decoded successfully", cut)
+		}
+	}
+	// Trailing garbage must fail.
+	if _, err := DecodeCheck(append(append([]byte{}, good...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Wrong kind tags.
+	if _, err := DecodeCheck(EncodeRank(Rank{1})); err == nil {
+		t.Fatal("rank payload decoded as check")
+	}
+	if _, err := DecodeRank(good); err == nil {
+		t.Fatal("check payload decoded as rank")
+	}
+	// Absurd sequence count.
+	bogus := []byte{KindCheck, 1, 2, 3, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	if _, err := DecodeCheck(bogus); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestFakeIDsNeverEncoded(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative ID")
+		}
+	}()
+	EncodeCheck(&Check{U: 1, V: 2, Seqs: [][]ID{{-1}}})
+}
+
+func TestSizeBitsMatchesLength(t *testing.T) {
+	p := EncodeCheck(&Check{U: 1, V: 2, Rank: 3, Seqs: [][]ID{{4, 5}}})
+	if SizeBits(p) != 8*len(p) {
+		t.Fatal("SizeBits mismatch")
+	}
+	if Kind(nil) != 0 {
+		t.Fatal("empty payload kind")
+	}
+}
+
+// TestSizeIsLogarithmic: a check message with O_k(1) sequences of O(k) IDs
+// drawn from [0, n) occupies O(k^2 log n) bits — verify the concrete growth
+// is logarithmic in the ID magnitude, which is the CONGEST requirement.
+func TestSizeIsLogarithmic(t *testing.T) {
+	mk := func(idBase ID) int {
+		seqs := [][]ID{{idBase, idBase + 1, idBase + 2}, {idBase + 3, idBase + 4, idBase + 5}}
+		return SizeBits(EncodeCheck(&Check{U: idBase, V: idBase + 9, Rank: uint64(idBase), Seqs: seqs}))
+	}
+	small := mk(10)
+	big := mk(1 << 40)
+	if big > 8*small {
+		t.Fatalf("size grew from %d to %d bits — not logarithmic", small, big)
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 127, 128, 1 << 40} {
+		p := EncodeProbe(Probe{Node: id})
+		got, err := DecodeProbe(p)
+		if err != nil {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		if got.Node != id {
+			t.Fatalf("id %d decoded as %d", id, got.Node)
+		}
+		if Kind(p) != KindProbe {
+			t.Fatalf("kind=%d", Kind(p))
+		}
+	}
+	// Cross-kind and corruption rejection.
+	if _, err := DecodeProbe(EncodeRank(Rank{1})); err == nil {
+		t.Fatal("rank decoded as probe")
+	}
+	if _, err := DecodeProbe(nil); err == nil {
+		t.Fatal("empty probe accepted")
+	}
+	good := EncodeProbe(Probe{Node: 1 << 30})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeProbe(good[:cut]); err == nil {
+			t.Fatalf("prefix %d accepted", cut)
+		}
+	}
+	if _, err := DecodeProbe(append(append([]byte{}, good...), 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative probe ID must panic")
+		}
+	}()
+	EncodeProbe(Probe{Node: -3})
+}

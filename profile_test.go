@@ -1,0 +1,98 @@
+package cycledetect
+
+import "testing"
+
+// wheelGraph builds a wheel W_n: hub 0 joined to rim cycle 1..n-1. Wheels
+// contain cycles of every length 3..n, so the profile should reject
+// everywhere (each length class is abundant relative to m).
+func wheelGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		mustAdd(g, 0, i)
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		mustAdd(g, i, next)
+	}
+	return g
+}
+
+func mustAdd(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func TestProfileCyclesWheel(t *testing.T) {
+	g := wheelGraph(10)
+	profiles, err := ProfileCycles(g, 7, Options{Epsilon: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 5 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	for _, p := range profiles {
+		if !p.Result.Rejected {
+			t.Errorf("k=%d: wheel cycle not found", p.K)
+		}
+		if p.Result.Rejected && len(p.Result.Witness) != p.K {
+			t.Errorf("k=%d: witness %v", p.K, p.Result.Witness)
+		}
+	}
+}
+
+func TestProfileCyclesRespectsOneSidedness(t *testing.T) {
+	// C9 ring: only k=9 may ever be rejected.
+	g := ring(9)
+	profiles, err := ProfileCycles(g, 9, Options{Epsilon: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if p.K != 9 && p.Result.Rejected {
+			t.Fatalf("k=%d rejected on a pure C9", p.K)
+		}
+		if p.K == 9 && !p.Result.Rejected {
+			t.Fatal("k=9 not rejected on a pure C9")
+		}
+	}
+}
+
+func TestProfileCyclesValidation(t *testing.T) {
+	g := ring(5)
+	if _, err := ProfileCycles(g, 2, Options{Epsilon: 0.1}); err == nil {
+		t.Fatal("kmax=2 accepted")
+	}
+	if _, err := ProfileCycles(g, 5, Options{}); err == nil {
+		t.Fatal("missing epsilon accepted")
+	}
+}
+
+func TestGirthUpperBound(t *testing.T) {
+	// Wheel: girth 3, found immediately.
+	k, ok, err := GirthUpperBound(wheelGraph(12), 6, Options{Epsilon: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || k != 3 {
+		t.Fatalf("wheel girth bound (%d,%v) want (3,true)", k, ok)
+	}
+	// C9 probed up to 6: nothing found.
+	_, ok, err = GirthUpperBound(ring(9), 6, Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("found a short cycle in C9")
+	}
+	// C9 probed up to 9: found at 9.
+	k, ok, err = GirthUpperBound(ring(9), 9, Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || k != 9 {
+		t.Fatalf("C9 girth bound (%d,%v) want (9,true)", k, ok)
+	}
+}
