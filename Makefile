@@ -1,0 +1,36 @@
+# Developer entry points. The repo is plain `go build ./...`-able; these
+# targets just bundle the common invocations.
+
+# Benchmarks included in perf snapshots: the simulator hot path (tester,
+# engines) and the micro-benchmarks behind it. The experiment benchmarks
+# (E1-E12) are reproduction runs, not perf-tracking targets.
+BENCH ?= TesterByK|EnginesCompare|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
+SNAPSHOT ?= BENCH_1.json
+
+.PHONY: all build test race vet fmt bench check
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: fmt vet test
+
+# bench runs the perf-tracking benchmarks and writes $(SNAPSHOT) — a JSON
+# map of benchmark name -> {ns_op, bytes_per_op, allocs_per_op} — so future
+# PRs have a committed trajectory to compare against (BENCH_1.json for this
+# PR, BENCH_2.json for the next, ...).
+bench:
+	go test -run=NONE -bench '$(BENCH)' -benchmem | go run ./cmd/benchsnap -o $(SNAPSHOT)

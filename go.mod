@@ -1,0 +1,3 @@
+module cycledetect
+
+go 1.24

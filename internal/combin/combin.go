@@ -92,6 +92,25 @@ func intersects(a, b []int64) bool {
 	return false
 }
 
+// RepScratch holds the reusable working storage of the greedy selection: the
+// kept-list view and the chosen-ID stack of the witness search. A node keeps
+// one per check so that repeated selections allocate nothing.
+type RepScratch struct {
+	kept   [][]int64
+	chosen []int64
+}
+
+// Prealloc sizes the scratch for witness budget q and up to keptCap kept
+// lists, so subsequent selections perform no allocations at all.
+func (s *RepScratch) Prealloc(q, keptCap int) {
+	if q > 0 && cap(s.chosen) < q {
+		s.chosen = make([]int64, 0, q)
+	}
+	if cap(s.kept) < keptCap {
+		s.kept = make([][]int64, 0, keptCap)
+	}
+}
+
 // Representatives performs the greedy selection of Algorithm 1 (lines 16–23)
 // over lists, with witness-set size q, and returns the indices of the kept
 // lists in processing order.
@@ -107,31 +126,42 @@ func intersects(a, b []int64) bool {
 // of an element of some unhit kept list L'. With |kept| bounded by Lemma 3
 // at (q+1)^(t−1), the search is O_k(1) per list.
 func Representatives(lists [][]int64, q int) []int {
+	var s RepScratch
+	return AppendRepresentatives(nil, lists, q, &s)
+}
+
+// AppendRepresentatives is Representatives with caller-owned storage: kept
+// indices are appended to dst and the search works entirely inside s, so a
+// caller that reuses both performs no per-call allocations.
+func AppendRepresentatives(dst []int, lists [][]int64, q int, s *RepScratch) []int {
 	if q < 0 {
 		q = 0
 	}
-	var kept [][]int64
-	var keptIdx []int
+	if cap(s.chosen) < q {
+		s.chosen = make([]int64, 0, q)
+	}
+	s.kept = s.kept[:0]
 	for i, l := range lists {
-		if existsWitness(kept, l, q) {
-			kept = append(kept, l)
-			keptIdx = append(keptIdx, i)
+		if s.existsWitness(l, q) {
+			s.kept = append(s.kept, l)
+			dst = append(dst, i)
 		}
 	}
-	return keptIdx
+	return dst
 }
 
 // existsWitness reports whether some set of at most budget real IDs hits
-// every list in kept while avoiding every ID in avoid. Chosen elements are
-// accumulated in chosen (nil at the top call).
-func existsWitness(kept [][]int64, avoid []int64, budget int) bool {
-	return witnessRec(kept, avoid, nil, budget)
+// every kept list while avoiding every ID in avoid.
+func (s *RepScratch) existsWitness(avoid []int64, budget int) bool {
+	return s.witnessRec(avoid, s.chosen[:0], budget)
 }
 
-func witnessRec(kept [][]int64, avoid, chosen []int64, budget int) bool {
+// witnessRec branches over candidate hitters; chosen is a stack backed by
+// s.chosen (cap ≥ budget at the top call, so appends never reallocate).
+func (s *RepScratch) witnessRec(avoid, chosen []int64, budget int) bool {
 	// Find the first kept list not hit by chosen.
 	var unhit []int64
-	for _, l := range kept {
+	for _, l := range s.kept {
 		if !intersects(l, chosen) {
 			unhit = l
 			break
@@ -148,7 +178,7 @@ func witnessRec(kept [][]int64, avoid, chosen []int64, budget int) bool {
 			continue // X must be disjoint from the candidate list
 		}
 		// y ∉ chosen holds automatically: unhit ∩ chosen = ∅.
-		if witnessRec(kept, avoid, append(chosen, y), budget-1) {
+		if s.witnessRec(avoid, append(chosen, y), budget-1) {
 			return true
 		}
 	}

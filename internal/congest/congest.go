@@ -21,6 +21,7 @@ package congest
 
 import (
 	"fmt"
+	"sort"
 
 	"cycledetect/internal/graph"
 	"cycledetect/internal/xrand"
@@ -34,9 +35,13 @@ type ID = int64
 // knows its own ID, the IDs of its neighbors (per port), the number of nodes
 // n, and has private random coins.
 type NodeInfo struct {
-	ID          ID
-	N           int
-	NeighborIDs []ID // NeighborIDs[p] is the ID of the neighbor on port p
+	ID ID
+	N  int
+	// NeighborIDs[p] is the ID of the neighbor on port p. The slice aliases
+	// engine-owned topology storage shared by all nodes (like
+	// graph.Neighbors) and must not be modified; a node that wants a
+	// reordered or augmented view must copy it.
+	NeighborIDs []ID
 	Rand        *xrand.RNG
 }
 
@@ -49,6 +54,14 @@ func (ni *NodeInfo) Degree() int { return len(ni.NeighborIDs) }
 // with the payload for port p (nil for no message), then delivers messages,
 // then calls Receive with in[p] holding the payload that arrived on port p
 // (nil for none). After the last round the engine calls Output once.
+//
+// Payload lifetime contract: a payload placed in out is consumed by the
+// engine before the node's next Send call, so a node may reuse one
+// per-node buffer for its outgoing payloads round after round (the BSP
+// engine guarantees this with its barriers, the channel engine by copying
+// payloads into per-edge buffers). Symmetrically, the slices passed to
+// Receive are only valid for the duration of that call; a node that needs
+// received bytes later must copy them.
 type Node interface {
 	Send(round int, out [][]byte)
 	Receive(round int, in [][]byte)
@@ -97,6 +110,26 @@ func newStats(rounds int) Stats {
 		PerRoundBits:     make([]int64, rounds),
 		PerRoundMessages: make([]int64, rounds),
 	}
+}
+
+// newStatsSlab returns count Stats whose per-round arrays are carved from
+// three shared backing slices, so per-node (or per-worker) accounting costs
+// a constant number of allocations instead of O(count).
+func newStatsSlab(count, rounds int) []Stats {
+	ss := make([]Stats, count)
+	maxb := make([]int, count*rounds)
+	bits := make([]int64, count*rounds)
+	msgs := make([]int64, count*rounds)
+	for i := range ss {
+		lo, hi := i*rounds, (i+1)*rounds
+		ss[i] = Stats{
+			Rounds:           rounds,
+			PerRoundMaxBits:  maxb[lo:hi:hi],
+			PerRoundBits:     bits[lo:hi:hi],
+			PerRoundMessages: msgs[lo:hi:hi],
+		}
+	}
+	return ss
 }
 
 func (s *Stats) observe(round int, bits int) {
@@ -164,7 +197,8 @@ func (e *ErrBandwidth) Error() string {
 type topology struct {
 	g       *graph.Graph
 	ids     []ID
-	revPort [][]int // revPort[v][p] = the port of v on the neighbor reached via v's port p
+	revPort [][]int32 // revPort[v][p] = the port of v on the neighbor reached via v's port p
+	nbrIDs  [][]ID    // nbrIDs[v][p] = the ID of v's port-p neighbor
 }
 
 func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
@@ -190,36 +224,32 @@ func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
 			seen[id] = struct{}{}
 		}
 	}
-	t := &topology{g: g, ids: ids, revPort: make([][]int, n)}
-	// portOf[v] maps neighbor vertex -> port index in v's adjacency list.
-	portOf := make([]map[int]int, n)
+	t := &topology{g: g, ids: ids, revPort: make([][]int32, n), nbrIDs: make([][]ID, n)}
+	// Adjacency lists are sorted, so a neighbor's reverse port is found by
+	// binary search; the per-vertex slices are carved from two flat backing
+	// arrays to keep setup allocations independent of n.
+	revFlat := make([]int32, 2*g.M())
+	idFlat := make([]ID, 2*g.M())
+	off := 0
 	for v := 0; v < n; v++ {
 		ns := g.Neighbors(v)
-		portOf[v] = make(map[int]int, len(ns))
+		t.revPort[v] = revFlat[off : off+len(ns) : off+len(ns)]
+		t.nbrIDs[v] = idFlat[off : off+len(ns) : off+len(ns)]
+		off += len(ns)
 		for p, w := range ns {
-			portOf[v][int(w)] = p
-		}
-	}
-	for v := 0; v < n; v++ {
-		ns := g.Neighbors(v)
-		t.revPort[v] = make([]int, len(ns))
-		for p, w := range ns {
-			t.revPort[v][p] = portOf[int(w)][v]
+			wns := g.Neighbors(int(w))
+			t.revPort[v][p] = int32(sort.Search(len(wns), func(i int) bool { return int(wns[i]) >= v }))
+			t.nbrIDs[v][p] = ids[w]
 		}
 	}
 	return t, nil
 }
 
 func (t *topology) nodeInfo(v int, seed uint64) NodeInfo {
-	ns := t.g.Neighbors(v)
-	nbr := make([]ID, len(ns))
-	for p, w := range ns {
-		nbr[p] = t.ids[w]
-	}
 	return NodeInfo{
 		ID:          t.ids[v],
 		N:           t.g.N(),
-		NeighborIDs: nbr,
+		NeighborIDs: t.nbrIDs[v],
 		Rand:        xrand.Stream(seed, uint64(t.ids[v])),
 	}
 }

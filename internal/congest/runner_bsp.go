@@ -7,14 +7,69 @@ import (
 	"cycledetect/internal/graph"
 )
 
+// pool is a persistent worker pool for the BSP engine: workers are spawned
+// once per run and execute one phase function per barrier, each over a
+// static contiguous shard of the vertex range. The seed implementation
+// re-created goroutines and a work channel for every phase (3× per round);
+// the pool replaces that with one channel send per worker per phase.
+type pool struct {
+	workers int
+	lo, hi  []int           // shard bounds per worker
+	start   []chan struct{} // one wake-up channel per worker
+	wg      sync.WaitGroup
+	fn      func(w, lo, hi int) // current phase; written before wake-up
+}
+
+func newPool(workers, n int) *pool {
+	p := &pool{
+		workers: workers,
+		lo:      make([]int, workers),
+		hi:      make([]int, workers),
+		start:   make([]chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		p.lo[w] = w * n / workers
+		p.hi[w] = (w + 1) * n / workers
+		p.start[w] = make(chan struct{}, 1)
+		go func(w int) {
+			for range p.start[w] {
+				p.fn(w, p.lo[w], p.hi[w])
+				p.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// run executes fn(w, lo, hi) on every worker's shard and waits for all of
+// them (the BSP barrier). The channel sends order p.fn's write before each
+// worker's read.
+func (p *pool) run(fn func(w, lo, hi int)) {
+	p.fn = fn
+	p.wg.Add(p.workers)
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// close terminates the workers.
+func (p *pool) close() {
+	for _, c := range p.start {
+		close(c)
+	}
+}
+
 // Run executes program p on graph g under the lockstep bulk-synchronous
 // engine: every node's Send for round r completes before any delivery, and
 // every delivery completes before any Receive returns control to round r+1.
 // This is the reference engine; RunChannels must produce identical outputs.
 //
 // Node Send/Receive calls within a round are executed concurrently across a
-// worker pool (nodes are independent within a round by definition of the
-// model), which also surfaces data races in node programs under -race.
+// persistent worker pool (nodes are independent within a round by definition
+// of the model), which also surfaces data races in node programs under
+// -race. Delivery and bandwidth accounting are parallelized by receiver,
+// with per-worker Stats merged after the final barrier.
 func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	topo, err := buildTopology(g, &cfg)
 	if err != nil {
@@ -27,12 +82,17 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 		nodes[v] = p.NewNode(topo.nodeInfo(v, cfg.Seed))
 	}
 
+	// Per-port payload tables, carved from two flat backing arrays.
 	out := make([][][]byte, n)
 	in := make([][][]byte, n)
+	outFlat := make([][]byte, 2*g.M())
+	inFlat := make([][]byte, 2*g.M())
+	off := 0
 	for v := 0; v < n; v++ {
 		deg := g.Degree(v)
-		out[v] = make([][]byte, deg)
-		in[v] = make([][]byte, deg)
+		out[v] = outFlat[off : off+deg : off+deg]
+		in[v] = inFlat[off : off+deg : off+deg]
+		off += deg
 	}
 
 	res := &Result{IDs: topo.ids}
@@ -45,70 +105,89 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	// parallelNodes applies fn to every vertex using the worker pool.
-	parallelNodes := func(fn func(v int)) {
-		if workers == 1 {
-			for v := 0; v < n; v++ {
-				fn(v)
-			}
+	perWorker := newStatsSlab(workers, rounds)
+	workErr := make([]error, workers)
+
+	var pl *pool
+	if workers > 1 {
+		pl = newPool(workers, n)
+		defer pl.close()
+	}
+	// runPhase applies fn over the vertex shards, inline when single-worker.
+	runPhase := func(fn func(w, lo, hi int)) {
+		if pl == nil {
+			fn(0, 0, n)
 			return
 		}
-		var wg sync.WaitGroup
-		next := make(chan int, n)
-		for v := 0; v < n; v++ {
-			next <- v
-		}
-		close(next)
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for v := range next {
-					fn(v)
-				}
-			}()
-		}
-		wg.Wait()
+		pl.run(fn)
 	}
 
-	for r := 1; r <= rounds; r++ {
-		parallelNodes(func(v int) {
+	// The three phase bodies are allocated once; round is threaded through a
+	// captured variable under the pool's barriers.
+	round := 0
+	sendPhase := func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
 			clearPayloads(out[v])
-			nodes[v].Send(r, out[v])
-		})
-		// Deliver and account. Sequential: accounting is shared state and
-		// delivery is cheap (slice header copies).
-		var bwErr error
-		for v := 0; v < n && bwErr == nil; v++ {
+			nodes[v].Send(round, out[v])
+		}
+	}
+	// Delivery iterates by receiver so that each worker writes only its own
+	// shard's in-tables; senders' out-tables are read-only during this phase.
+	deliverPhase := func(w, lo, hi int) {
+		st := &perWorker[w]
+		for v := lo; v < hi; v++ {
 			ns := g.Neighbors(v)
-			for pt, payload := range out[v] {
-				w := int(ns[pt])
-				in[w][topo.revPort[v][pt]] = payload
+			rp := topo.revPort[v]
+			for pt := range in[v] {
+				u := int(ns[pt])
+				payload := out[u][rp[pt]]
+				in[v][pt] = payload
 				if payload == nil {
 					continue
 				}
 				bits := 8 * len(payload)
-				res.Stats.observe(r, bits)
-				if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits {
-					bwErr = &ErrBandwidth{
-						Round: r, From: topo.ids[v], To: topo.ids[w],
+				st.observe(round, bits)
+				if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits && workErr[w] == nil {
+					workErr[w] = &ErrBandwidth{
+						Round: round, From: topo.ids[u], To: topo.ids[v],
 						Bits: bits, BudgetBit: cfg.BandwidthBits,
 					}
-					break
 				}
 			}
 		}
-		if bwErr != nil {
-			return nil, bwErr
-		}
-		parallelNodes(func(v int) {
-			nodes[v].Receive(r, in[v])
+	}
+	receivePhase := func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nodes[v].Receive(round, in[v])
 			clearPayloads(in[v])
-		})
+		}
+	}
+
+	for round = 1; round <= rounds; round++ {
+		runPhase(sendPhase)
+		runPhase(deliverPhase)
+		if cfg.BandwidthBits > 0 {
+			// Workers cover ascending vertex ranges, so the first error in
+			// worker order is the lowest-vertex violation — deterministic
+			// regardless of the worker count.
+			for _, e := range workErr {
+				if e != nil {
+					return nil, e
+				}
+			}
+		}
+		runPhase(receivePhase)
 	}
 
 	res.Outputs = make([]any, n)
-	parallelNodes(func(v int) { res.Outputs[v] = nodes[v].Output() })
+	runPhase(func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			res.Outputs[v] = nodes[v].Output()
+		}
+	})
+	for w := range perWorker {
+		res.Stats.merge(&perWorker[w])
+	}
 	res.Stats.finalize()
 	return res, nil
 }

@@ -19,6 +19,15 @@ import (
 // the r-th value pulled on a channel is exactly the r-th round's message,
 // and the execution is semantically identical to the lockstep engine even
 // though distant nodes may be in different rounds simultaneously.
+//
+// Because a receiver may still be reading round r's payload while the sender
+// is already producing round r+1's, the engine does not hand the program's
+// own out-slice across the channel: each directed edge owns two reusable
+// buffers, alternated by round parity, and the payload bytes are copied into
+// the current one at push time. The capacity-1 channel guarantees the slot
+// being overwritten for round r+2 was pulled — and therefore fully consumed —
+// at round r, so two slots suffice, programs may reuse their out buffers
+// every round (see Node), and steady-state rounds allocate nothing.
 func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	topo, err := buildTopology(g, &cfg)
 	if err != nil {
@@ -32,18 +41,23 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	}
 
 	// ch[v][p] carries messages from v's port-p neighbor TO v.
+	// edgeBufs[v][p] are the two reusable transfer buffers for the directed
+	// edge leaving v's port p, owned by the sender side.
 	ch := make([][]chan []byte, n)
+	edgeBufs := make([][][2][]byte, n)
 	for v := 0; v < n; v++ {
-		ch[v] = make([]chan []byte, g.Degree(v))
+		deg := g.Degree(v)
+		ch[v] = make([]chan []byte, deg)
 		for pt := range ch[v] {
 			ch[v][pt] = make(chan []byte, 1)
 		}
+		edgeBufs[v] = make([][2][]byte, deg)
 	}
 
 	res := &Result{IDs: topo.ids, Outputs: make([]any, n)}
 	res.Stats = newStats(rounds)
 
-	perNode := make([]Stats, n)
+	perNode := newStatsSlab(n, rounds)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -51,7 +65,6 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 		go func(v int) {
 			defer wg.Done()
 			st := &perNode[v]
-			*st = newStats(rounds)
 			node := nodes[v]
 			ns := g.Neighbors(v)
 			deg := len(ns)
@@ -102,6 +115,13 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 							}
 							payload = nil
 						}
+					}
+					if payload != nil {
+						// Detach from the program's buffer: copy into this
+						// edge's slot for the round's parity.
+						slot := &edgeBufs[v][pt][r&1]
+						*slot = append((*slot)[:0], payload...)
+						payload = *slot
 					}
 					// Push into the neighbor's inbound channel for the edge.
 					ch[int(ns[pt])][topo.revPort[v][pt]] <- payload

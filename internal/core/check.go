@@ -15,8 +15,6 @@
 package core
 
 import (
-	"sort"
-
 	"cycledetect/internal/combin"
 	"cycledetect/internal/wire"
 )
@@ -37,10 +35,34 @@ const (
 	ModeNaive
 )
 
+// seqRef is one cleaned sequence: a span into the recv arena plus its
+// 64-bit ID signature (see sigOf).
+type seqRef struct {
+	off, ln int32
+	sig     uint64
+}
+
+// sigOf folds a sequence into a 64-bit signature with one bit per ID class
+// (id mod 64). Two sequences with non-intersecting signatures are certainly
+// disjoint, so the quadratic pair scans of detect resolve most pairs with a
+// single AND; only signature collisions fall back to the exact scan.
+func sigOf(seq []ID) uint64 {
+	var sig uint64
+	for _, id := range seq {
+		sig |= 1 << (uint64(id) & 63)
+	}
+	return sig
+}
+
 // checkState is the per-node state of one Ck check for a candidate edge.
 // It is deliberately memoryless across rounds beyond the previous round's
 // receipts — exactly the information Algorithm 1 consumes — which is what
 // lets the full tester switch a node onto a lower-rank check mid-run.
+//
+// All sequence storage is span-based: received and sent sequences live in
+// flat reusable arenas, and every scratch slice survives reset, so a node
+// that runs many repetitions reaches a steady state where rounds allocate
+// nothing.
 type checkState struct {
 	k     int
 	halfK int // ⌊k/2⌋, number of Phase-2 rounds
@@ -56,17 +78,65 @@ type checkState struct {
 	// pair; Phase 1 always selects real edges.
 	seeder bool
 
-	recv      [][]ID // sequences received in round recvRound for this check
-	recvRound int    // 0 if none
-	sent      [][]ID // S sent at round sentRound (IDs appended), for even-k detection
+	recv      wire.SeqArena // sequences received in round recvRound for this check
+	recvSigs  []uint64      // signature per recv sequence
+	recvRound int           // 0 if none
+	sent      wire.SeqArena // S sent at round sentRound (IDs appended), for even-k detection
+	sentSigs  []uint64
 	sentRound int
+
+	// Round-local scratch, reused across rounds and repetitions.
+	clean   []seqRef // cleanReceived output
+	views   [][]ID   // arena-backed views handed to the pruner
+	keptIdx []int
+	rep     combin.RepScratch
 }
 
-func newCheckState(k int, u, v ID, rank uint64, myid ID, seeder bool, mode Mode) *checkState {
+// prealloc sizes the reusable buffers for a node of the given degree so that
+// a typical repetition performs no growth reallocations: received volume
+// scales with fan-in (deg neighbors × pruned message bound), sent volume
+// with the bound alone. Everything is carved from a few typed slabs, so a
+// node costs a constant number of setup allocations regardless of its
+// buffer sizes; undersized buffers just grow, they are never a correctness
+// concern.
+func (cs *checkState) prealloc(k, deg int) {
+	halfK := k / 2
+	recvSpans := 4*deg + 16
+	sentSpans := 16
+	scratch := 2*deg + 16
+	recvIDs := recvSpans * halfK
+	sentIDs := sentSpans * (halfK + 1)
+
+	ids := make([]ID, 0, recvIDs+sentIDs)
+	cs.recv.IDs = ids[0:0:recvIDs]
+	cs.sent.IDs = ids[recvIDs : recvIDs : recvIDs+sentIDs]
+	spans := make([]wire.Span, 0, recvSpans+sentSpans)
+	cs.recv.Spans = spans[0:0:recvSpans]
+	cs.sent.Spans = spans[recvSpans : recvSpans : recvSpans+sentSpans]
+	sigs := make([]uint64, 0, recvSpans+sentSpans)
+	cs.recvSigs = sigs[0:0:recvSpans]
+	cs.sentSigs = sigs[recvSpans : recvSpans : recvSpans+sentSpans]
+	cs.clean = make([]seqRef, 0, scratch)
+	cs.views = make([][]ID, 0, scratch)
+	cs.keptIdx = make([]int, 0, scratch)
+	cs.rep.Prealloc(k-2, sentSpans)
+}
+
+// reset rebinds the state to a new candidate edge, keeping all buffer
+// capacity. It replaces the seed implementation's per-check allocation.
+func (cs *checkState) reset(k int, u, v ID, rank uint64, myid ID, seeder bool, mode Mode) {
 	if u > v {
 		u, v = v, u
 	}
-	return &checkState{k: k, halfK: k / 2, u: u, v: v, rank: rank, myid: myid, seeder: seeder, mode: mode}
+	cs.k, cs.halfK = k, k/2
+	cs.u, cs.v, cs.rank, cs.myid = u, v, rank, myid
+	cs.seeder, cs.mode = seeder, mode
+	cs.recv.Reset()
+	cs.recvSigs = cs.recvSigs[:0]
+	cs.recvRound = 0
+	cs.sent.Reset()
+	cs.sentSigs = cs.sentSigs[:0]
+	cs.sentRound = 0
 }
 
 // sameEdge reports whether the check is for the candidate edge {a,b}.
@@ -77,22 +147,60 @@ func (cs *checkState) sameEdge(a, b ID) bool {
 	return cs.u == a && cs.v == b
 }
 
-// absorb records sequences received at Phase-2 round t for this check.
-// Receipts from multiple neighbors in the same round accumulate; a new round
-// discards the previous round's receipts (Algorithm 1 only ever reads the
-// immediately preceding round).
-func (cs *checkState) absorb(t int, seqs [][]ID) {
+// absorbView records the sequences of a parsed check message received at
+// Phase-2 round t. Receipts from multiple neighbors in the same round
+// accumulate; a new round discards the previous round's receipts (Algorithm 1
+// only ever reads the immediately preceding round).
+//
+// The paper's R is a SET, so exact duplicates (the same sequence arriving
+// from several neighbors — common under broadcast flooding) are dropped on
+// arrival, keeping the arena, the sort and the pruner input small; the
+// signature makes the duplicate scan a cheap integer sweep. A malformed body
+// is rolled back in full and ignored, like the seed's decode-then-drop.
+func (cs *checkState) absorbView(t int, v *wire.CheckView) {
 	if t != cs.recvRound {
-		cs.recv = cs.recv[:0]
+		cs.recv.Reset()
+		cs.recvSigs = cs.recvSigs[:0]
 		cs.recvRound = t
 	}
-	for _, s := range seqs {
-		cs.recv = append(cs.recv, s)
+	idMark, spanMark := len(cs.recv.IDs), len(cs.recv.Spans)
+	it := v.Iter()
+	for {
+		off := len(cs.recv.IDs)
+		ids, ok := it.Next(cs.recv.IDs)
+		if !ok {
+			break
+		}
+		cs.recv.IDs = ids
+		seq := ids[off:]
+		sig := sigOf(seq)
+		if cs.haveSeq(seq, sig) {
+			cs.recv.IDs = ids[:off]
+			continue
+		}
+		cs.recv.Spans = append(cs.recv.Spans, wire.Span{Off: int32(off), Len: int32(len(seq))})
+		cs.recvSigs = append(cs.recvSigs, sig)
+	}
+	if it.Err() != nil || it.Trailing() != 0 {
+		cs.recv.IDs = cs.recv.IDs[:idMark]
+		cs.recv.Spans = cs.recv.Spans[:spanMark]
+		cs.recvSigs = cs.recvSigs[:spanMark]
 	}
 }
 
+// haveSeq reports whether an identical sequence is already stored; the
+// signature filters almost every candidate before the exact comparison.
+func (cs *checkState) haveSeq(seq []ID, sig uint64) bool {
+	for i, s := range cs.recvSigs {
+		if s == sig && equalSeq(cs.recv.Seq(i), seq) {
+			return true
+		}
+	}
+	return false
+}
+
 // sendSeqs computes the set S of sequences to broadcast at Phase-2 round t
-// (1-based), per Algorithm 1:
+// (1-based) into cs.sent, per Algorithm 1:
 //
 //   - round 1: the endpoints of the candidate edge seed their own ID
 //     (lines 2–7);
@@ -100,73 +208,86 @@ func (cs *checkState) absorb(t int, seqs [][]ID) {
 //     myid (lines 11–12); keep a representative subset (lines 14–23, pruned
 //     mode) or all of R (naive mode); append myid (line 24).
 //
-// It returns nil when the node has nothing to send. The returned sequences
-// are recorded for the even-k final check (§3.3, see detect).
-func (cs *checkState) sendSeqs(t int) [][]ID {
+// It returns the number of sequences to send (0 means stay silent); the
+// caller encodes cs.sent directly. The sent set is retained for the even-k
+// final check (§3.3, see detect).
+func (cs *checkState) sendSeqs(t int) int {
+	cs.sent.Reset()
+	cs.sentSigs = cs.sentSigs[:0]
 	if t == 1 {
 		if cs.seeder {
-			s := [][]ID{{cs.myid}}
-			cs.sent, cs.sentRound = s, t
-			return s
+			cs.sent.AppendWithTail(nil, cs.myid)
+			cs.sentSigs = append(cs.sentSigs, sigOf(cs.sent.Seq(0)))
+			cs.sentRound = t
+			return 1
 		}
-		return nil
+		return 0
 	}
-	if cs.recvRound != t-1 || len(cs.recv) == 0 {
-		return nil
+	if cs.recvRound != t-1 || cs.recv.Len() == 0 {
+		return 0
 	}
-	r := cs.cleanReceived(t - 1)
-	if len(r) == 0 {
-		return nil
+	cs.cleanReceived(t - 1)
+	if len(cs.clean) == 0 {
+		return 0
 	}
-	var kept [][]ID
+	mySig := sigOf([]ID{cs.myid})
 	if cs.mode == ModeNaive {
-		kept = r
+		for _, ref := range cs.clean {
+			cs.sent.AppendWithTail(cs.recv.IDs[ref.off:ref.off+ref.ln], cs.myid)
+			cs.sentSigs = append(cs.sentSigs, ref.sig|mySig)
+		}
 	} else {
-		keptIdx := combin.Representatives(r, cs.k-t)
-		kept = make([][]ID, len(keptIdx))
-		for i, idx := range keptIdx {
-			kept[i] = r[idx]
+		cs.views = cs.views[:0]
+		for _, ref := range cs.clean {
+			cs.views = append(cs.views, cs.recv.IDs[ref.off:ref.off+ref.ln])
+		}
+		cs.keptIdx = combin.AppendRepresentatives(cs.keptIdx[:0], cs.views, cs.k-t, &cs.rep)
+		for _, idx := range cs.keptIdx {
+			ref := cs.clean[idx]
+			cs.sent.AppendWithTail(cs.recv.IDs[ref.off:ref.off+ref.ln], cs.myid)
+			cs.sentSigs = append(cs.sentSigs, ref.sig|mySig)
 		}
 	}
-	out := make([][]ID, len(kept))
-	for i, l := range kept {
-		seq := make([]ID, 0, len(l)+1)
-		seq = append(seq, l...)
-		seq = append(seq, cs.myid)
-		out[i] = seq
-	}
-	cs.sent, cs.sentRound = out, t
-	return out
+	cs.sentRound = t
+	return cs.sent.Len()
 }
 
-// cleanReceived returns the deduplicated receipts of the given round having
-// the expected length and not containing myid, in deterministic
-// (lexicographic) order. Set semantics match the paper's "R ← set of all
-// ordered sequences received"; the processing order of the greedy is
-// explicitly arbitrary (§3.3), so sorting is a valid, reproducible choice.
-func (cs *checkState) cleanReceived(wantLen int) [][]ID {
-	r := make([][]ID, 0, len(cs.recv))
-	for _, s := range cs.recv {
-		if len(s) != wantLen || containsID(s, cs.myid) {
+// cleanReceived fills cs.clean with the receipts of the given round having
+// the expected length and not containing myid, in arrival (port) order.
+// Set semantics match the paper's "R ← set of all ordered sequences
+// received" — duplicates were already dropped on arrival by absorbView —
+// and the processing order of the greedy is explicitly arbitrary (§3.3);
+// arrival order is deterministic, identical across both engines, and
+// independent of the scheduler, so it is a valid reproducible choice that
+// costs nothing (the seed sorted lexicographically here, a hot-path sort
+// with no semantic payoff).
+func (cs *checkState) cleanReceived(wantLen int) {
+	cs.clean = cs.clean[:0]
+	myBit := uint64(1) << (uint64(cs.myid) & 63)
+	for i := 0; i < cs.recv.Len(); i++ {
+		sp := cs.recv.Spans[i]
+		if int(sp.Len) != wantLen {
 			continue
 		}
-		r = append(r, s)
-	}
-	sort.Slice(r, func(i, j int) bool { return lessSeq(r[i], r[j]) })
-	// Drop exact duplicates (same sequence received from several neighbors).
-	dedup := r[:0]
-	for i, s := range r {
-		if i == 0 || !equalSeq(s, r[i-1]) {
-			dedup = append(dedup, s)
+		sig := cs.recvSigs[i]
+		// Signature fast path: myid can only occur if its bit class is set.
+		if sig&myBit != 0 && containsID(cs.recv.Seq(i), cs.myid) {
+			continue
 		}
+		cs.clean = append(cs.clean, seqRef{off: sp.Off, ln: sp.Len, sig: sig})
 	}
-	return dedup
+}
+
+// seq materializes a cleaned reference as a slice into the recv arena.
+func (cs *checkState) seq(ref seqRef) []ID {
+	return cs.recv.IDs[ref.off : ref.off+ref.ln]
 }
 
 // detect runs the final check of Algorithm 1 (lines 31–42) after the last
 // Phase-2 round. It returns whether a k-cycle through the candidate edge was
 // found and, if so, the cycle as an ordered list of k node IDs starting at
-// one endpoint of the candidate edge.
+// one endpoint of the candidate edge. The witness is freshly allocated (it
+// outlives the arenas); everything else runs on scratch.
 //
 // Implementation of line 35 (even k): the paper's Lemma 2 requires pairing a
 // sequence L1 ∈ S (length k/2, containing myid) with a sequence L2 of length
@@ -180,14 +301,15 @@ func (cs *checkState) detect() (bool, []ID) {
 	if cs.recvRound != cs.halfK {
 		return false, nil
 	}
-	last := cs.cleanReceived(cs.halfK)
+	cs.cleanReceived(cs.halfK)
+	last := cs.clean
 	if cs.k%2 == 1 {
 		// Odd k: two received sequences of length ⌊k/2⌋, fully disjoint,
 		// neither containing myid (already filtered by cleanReceived).
 		for i := 0; i < len(last); i++ {
 			for j := i + 1; j < len(last); j++ {
 				if cs.validPair(last[i], last[j]) {
-					return true, cs.assembleWitness(last[i], last[j])
+					return true, cs.assembleWitness(cs.seq(last[i]), cs.seq(last[j]))
 				}
 			}
 		}
@@ -197,13 +319,14 @@ func (cs *checkState) detect() (bool, []ID) {
 	if cs.sentRound != cs.halfK {
 		return false, nil
 	}
-	for _, l1 := range cs.sent {
+	for i := 0; i < cs.sent.Len(); i++ {
+		l1 := cs.sent.Seq(i)
 		if len(l1) != cs.halfK {
 			continue
 		}
-		for _, l2 := range last {
-			if cs.validPairEven(l1, l2) {
-				return true, cs.assembleWitnessEven(l1, l2)
+		for _, ref := range last {
+			if cs.validPairEven(l1, cs.sentSigs[i], ref) {
+				return true, cs.assembleWitnessEven(l1, cs.seq(ref))
 			}
 		}
 	}
@@ -213,26 +336,27 @@ func (cs *checkState) detect() (bool, []ID) {
 // validPair checks the odd-k pair condition: disjoint sequences whose heads
 // are the two distinct endpoints of the candidate edge. (Lemma 1 already
 // forces each head into {u, v}; checking it explicitly keeps the detector
-// 1-sided even against malformed traffic.)
-func (cs *checkState) validPair(l1, l2 []ID) bool {
-	if intersectSeq(l1, l2) {
+// 1-sided even against malformed traffic.) Signature disjointness certifies
+// real disjointness; only colliding signatures need the exact scan.
+func (cs *checkState) validPair(r1, r2 seqRef) bool {
+	if r1.sig&r2.sig != 0 && intersectSeq(cs.seq(r1), cs.seq(r2)) {
 		return false
 	}
-	h1, h2 := l1[0], l2[0]
+	h1, h2 := cs.recv.IDs[r1.off], cs.recv.IDs[r2.off]
 	return (h1 == cs.u && h2 == cs.v) || (h1 == cs.v && h2 == cs.u)
 }
 
 // validPairEven checks the even-k pair condition: l1 ∈ S ends with myid, l2
-// was received (no myid), they are disjoint apart from nothing, and their
-// heads are the two endpoints.
-func (cs *checkState) validPairEven(l1, l2 []ID) bool {
+// was received (no myid), they are disjoint, and their heads are the two
+// endpoints.
+func (cs *checkState) validPairEven(l1 []ID, sig1 uint64, r2 seqRef) bool {
 	if l1[len(l1)-1] != cs.myid {
 		return false
 	}
-	if intersectSeq(l1, l2) {
+	if sig1&r2.sig != 0 && intersectSeq(l1, cs.seq(r2)) {
 		return false
 	}
-	h1, h2 := l1[0], l2[0]
+	h1, h2 := l1[0], cs.recv.IDs[r2.off]
 	return (h1 == cs.u && h2 == cs.v) || (h1 == cs.v && h2 == cs.u)
 }
 
@@ -288,13 +412,4 @@ func equalSeq(a, b []ID) bool {
 		}
 	}
 	return true
-}
-
-func lessSeq(a, b []ID) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }

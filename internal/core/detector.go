@@ -39,32 +39,32 @@ func (d *EdgeDetector) NewNode(info congest.NodeInfo) congest.Node {
 	}
 	seeder := (info.ID == d.U && hasNeighbor(info.NeighborIDs, d.V)) ||
 		(info.ID == d.V && hasNeighbor(info.NeighborIDs, d.U))
-	return &edgeDetNode{
-		prog: d,
-		info: info,
-		cs:   newCheckState(d.K, d.U, d.V, 0, info.ID, seeder, d.Mode),
-	}
+	n := &edgeDetNode{prog: d, info: info}
+	n.cs.prealloc(d.K, info.Degree())
+	n.cs.reset(d.K, d.U, d.V, 0, info.ID, seeder, d.Mode)
+	return n
 }
 
 type edgeDetNode struct {
 	prog    *EdgeDetector
 	info    congest.NodeInfo
-	cs      *checkState
+	cs      checkState
 	metrics NodeMetrics
+	payload []byte // reusable outgoing buffer; see testerNode
 }
 
 func (n *edgeDetNode) Send(round int, out [][]byte) {
-	seqs := n.cs.sendSeqs(round)
-	n.metrics.observeSend(round, len(seqs), n.prog.K/2)
-	if len(seqs) == 0 {
+	cnt := n.cs.sendSeqs(round)
+	n.metrics.observeSend(round, cnt, n.prog.K/2)
+	if cnt == 0 {
 		return
 	}
-	payload := wire.EncodeCheck(&wire.Check{U: n.cs.u, V: n.cs.v, Rank: 0, Seqs: seqs})
+	n.payload = wire.AppendCheckArena(n.payload[:0], n.cs.u, n.cs.v, 0, &n.cs.sent)
 	for p := range out {
-		out[p] = payload
+		out[p] = n.payload
 	}
 	if n.prog.Trace != nil {
-		n.prog.Trace.Add(round, n.info.ID, "send", "broadcasts %s", formatSeqs(seqs))
+		n.prog.Trace.Add(round, n.info.ID, "send", "broadcasts %s", formatArena(&n.cs.sent))
 	}
 }
 
@@ -73,18 +73,20 @@ func (n *edgeDetNode) Receive(round int, in [][]byte) {
 		if payload == nil {
 			continue
 		}
-		c, err := wire.DecodeCheck(payload)
+		// Malformed traffic cannot make a 1-sided tester reject; drop it.
+		// A bad header is skipped here; a bad body is rolled back inside
+		// absorbView, which is the same drop.
+		v, err := wire.ParseCheck(payload)
 		if err != nil {
-			// Malformed traffic cannot make a 1-sided tester reject; drop it.
 			continue
 		}
-		if !n.cs.sameEdge(c.U, c.V) {
+		if !n.cs.sameEdge(v.U, v.V) {
 			continue
 		}
-		n.cs.absorb(round, c.Seqs)
+		n.cs.absorbView(round, &v)
 	}
-	if n.prog.Trace != nil && round == n.cs.recvRound && len(n.cs.recv) > 0 {
-		n.prog.Trace.Add(round, n.info.ID, "recv", "holds %s", formatSeqs(n.cs.recv))
+	if n.prog.Trace != nil && round == n.cs.recvRound && n.cs.recv.Len() > 0 {
+		n.prog.Trace.Add(round, n.info.ID, "recv", "holds %s", formatArena(&n.cs.recv))
 	}
 }
 
@@ -105,9 +107,10 @@ func hasNeighbor(neighbors []ID, id ID) bool {
 	return false
 }
 
-func formatSeqs(seqs [][]ID) string {
-	parts := make([]string, len(seqs))
-	for i, s := range seqs {
+func formatArena(a *wire.SeqArena) string {
+	parts := make([]string, a.Len())
+	for i := range parts {
+		s := a.Seq(i)
 		elems := make([]string, len(s))
 		for j, id := range s {
 			elems[j] = fmt.Sprint(id)

@@ -65,13 +65,16 @@ func (t *Tester) NewNode(info congest.NodeInfo) congest.Node {
 	if rankMax == 0 {
 		rankMax = 1
 	}
-	return &testerNode{
+	n := &testerNode{
 		prog:      t,
 		info:      info,
 		rankMax:   rankMax,
 		edgeRanks: make([]uint64, info.Degree()),
 		mine:      make([]bool, info.Degree()),
 	}
+	n.cs.prealloc(t.K, info.Degree())
+	n.checkBuf = make([]byte, 0, 256)
+	return n
 }
 
 type testerNode struct {
@@ -83,10 +86,17 @@ type testerNode struct {
 	edgeRanks []uint64 // rank of the incident edge on each port
 	mine      []bool   // whether this node drew the rank for that port
 
-	cur      *checkState // current (lowest-rank) check, nil before selection
+	cs       checkState // current (lowest-rank) check, valid when active
+	active   bool
 	rejected bool
 	witness  []ID
 	metrics  NodeMetrics
+
+	// Reusable outgoing-payload buffers. The engines guarantee payloads are
+	// consumed before the next Send (BSP by its barriers, the channel engine
+	// by copying into per-edge buffers), so one buffer per kind suffices.
+	rankBuf  []byte
+	checkBuf []byte
 }
 
 // phase decomposes a global round number into (repetition, local round);
@@ -105,34 +115,43 @@ func (n *testerNode) Send(round int, out [][]byte) {
 	if local == 1 {
 		n.selectCheck()
 	}
-	if n.cur == nil {
+	if !n.active {
 		return
 	}
-	seqs := n.cur.sendSeqs(local)
-	n.metrics.observeSend(local, len(seqs), n.prog.K/2)
-	if len(seqs) == 0 {
+	cnt := n.cs.sendSeqs(local)
+	n.metrics.observeSend(local, cnt, n.prog.K/2)
+	if cnt == 0 {
 		return
 	}
-	payload := wire.EncodeCheck(&wire.Check{U: n.cur.u, V: n.cur.v, Rank: n.cur.rank, Seqs: seqs})
+	n.checkBuf = wire.AppendCheckArena(n.checkBuf[:0], n.cs.u, n.cs.v, n.cs.rank, &n.cs.sent)
 	for p := range out {
-		out[p] = payload
+		out[p] = n.checkBuf
 	}
 }
 
 // startRepetition implements Phase 1's rank draw: each edge is assigned to
 // its smaller-ID endpoint, which draws a uniform rank in [1, rankMax] and
-// announces it across the edge.
+// announces it across the edge. Rank payloads are carved out of one
+// pre-sized per-node buffer.
 func (n *testerNode) startRepetition(out [][]byte) {
-	n.cur = nil
+	n.active = false
+	const maxRankBytes = 11 // kind byte + 10-byte uvarint
+	if cap(n.rankBuf) < len(out)*maxRankBytes {
+		n.rankBuf = make([]byte, 0, len(out)*maxRankBytes)
+	}
+	buf := n.rankBuf[:0]
 	for p, nbr := range n.info.NeighborIDs {
 		n.mine[p] = n.info.ID < nbr
 		n.edgeRanks[p] = 0
 		if n.mine[p] {
 			r := n.info.Rand.Rank(n.rankMax)
 			n.edgeRanks[p] = r
-			out[p] = wire.EncodeRank(wire.Rank{Rank: r})
+			start := len(buf)
+			buf = wire.AppendRank(buf, wire.Rank{Rank: r})
+			out[p] = buf[start:len(buf):len(buf)]
 		}
 	}
+	n.rankBuf = buf
 }
 
 // selectCheck picks the incident edge of minimum (rank, edge) and starts a
@@ -152,15 +171,18 @@ func (n *testerNode) selectCheck() {
 	}
 	// The selected edge is incident, so this node is an endpoint of a real
 	// edge and must seed.
-	n.cur = newCheckState(n.prog.K, bu, bv, n.edgeRanks[best], n.info.ID, true, n.prog.Mode)
+	n.cs.reset(n.prog.K, bu, bv, n.edgeRanks[best], n.info.ID, true, n.prog.Mode)
+	n.active = true
 	n.metrics.ChecksStarted++
 }
 
 func (n *testerNode) Receive(round int, in [][]byte) {
 	_, local := n.phase(round)
 	if local == 0 {
+		// Phase-1 rounds carry only rank announcements; anything else is
+		// dropped without further parsing.
 		for p, payload := range in {
-			if payload == nil {
+			if wire.Kind(payload) != wire.KindRank {
 				continue
 			}
 			r, err := wire.DecodeRank(payload)
@@ -171,18 +193,23 @@ func (n *testerNode) Receive(round int, in [][]byte) {
 		}
 		return
 	}
+	// Phase-2 rounds carry only check messages. The header is parsed in
+	// place — the preemption rule needs just (U, V, Rank) — so discarded
+	// checks never have their sequence bytes touched, and absorbed ones are
+	// decoded straight into the check's arena (with rollback on a malformed
+	// body, which is equivalent to the seed's decode-then-drop).
 	for _, payload := range in {
-		if payload == nil {
+		if wire.Kind(payload) != wire.KindCheck {
 			continue
 		}
-		c, err := wire.DecodeCheck(payload)
-		if err != nil || wire.Kind(payload) != wire.KindCheck {
+		v, err := wire.ParseCheck(payload)
+		if err != nil {
 			continue
 		}
-		n.consider(local, c)
+		n.consider(local, &v)
 	}
-	if local == n.prog.K/2 && n.cur != nil {
-		if reject, wit := n.cur.detect(); reject && !n.rejected {
+	if local == n.prog.K/2 && n.active {
+		if reject, wit := n.cs.detect(); reject && !n.rejected {
 			n.rejected = true
 			n.witness = wit
 		}
@@ -191,23 +218,33 @@ func (n *testerNode) Receive(round int, in [][]byte) {
 
 // consider applies the paper's preemption rule to an incoming check message:
 // discard if its check ranks worse than the current one, absorb if it is the
-// same check, and switch to it if it ranks better (§3.1).
-func (n *testerNode) consider(local int, c *wire.Check) {
+// same check, and switch to it if it ranks better (§3.1). Discarded messages
+// never have their sequence bytes decoded.
+func (n *testerNode) consider(local int, c *wire.CheckView) {
 	u, v := canonEdge(c.U, c.V)
-	if n.cur != nil {
-		if n.cur.sameEdge(u, v) {
-			n.cur.absorb(local, c.Seqs)
+	if n.active {
+		if n.cs.sameEdge(u, v) {
+			n.cs.absorbView(local, c)
 			return
 		}
-		if !lessCheck(c.Rank, u, v, n.cur.rank, n.cur.u, n.cur.v) {
+		if !lessCheck(c.Rank, u, v, n.cs.rank, n.cs.u, n.cs.v) {
 			return // strictly worse: discard (line "r(e') > r(e)")
 		}
+	}
+	// Validate the body before adopting the check, so a malformed message
+	// cannot preempt or activate anything (matching the seed, which dropped
+	// malformed messages before considering them).
+	if c.Validate() != nil {
+		return
+	}
+	if n.active {
 		n.metrics.Switches++
 	}
 	// Joining a check mid-flight: the seeding round has already passed, so
 	// the seeder flag is moot; pass false for clarity.
-	n.cur = newCheckState(n.prog.K, u, v, c.Rank, n.info.ID, false, n.prog.Mode)
-	n.cur.absorb(local, c.Seqs)
+	n.cs.reset(n.prog.K, u, v, c.Rank, n.info.ID, false, n.prog.Mode)
+	n.active = true
+	n.cs.absorbView(local, c)
 }
 
 func (n *testerNode) Output() any {

@@ -12,6 +12,15 @@
 //     endpoint the edge is assigned to (the smaller-ID endpoint).
 //   - Check: one Phase-2 round of Algorithm 1 for a candidate edge — the
 //     candidate edge's endpoint IDs, its rank, and the set S of ID sequences.
+//
+// The Check codec has two tiers. The convenience tier (EncodeCheck /
+// DecodeCheck) materializes a *Check with a [][]ID slice-of-slices and is
+// meant for tests and cold paths. The simulation hot path uses the
+// allocation-free tier instead: AppendCheck / AppendCheckArena encode into a
+// caller-owned buffer, ParseCheck reads the header in place without touching
+// the sequence bytes, SeqIter walks the sequences reading varints in place,
+// and DecodeCheckInto lands all sequence IDs in a caller-owned SeqArena that
+// is reused across rounds.
 package wire
 
 import (
@@ -52,12 +61,61 @@ var (
 	ErrKind = errors.New("wire: unexpected message kind")
 )
 
+// Span locates one sequence inside a SeqArena's flat ID buffer.
+type Span struct {
+	Off, Len int32
+}
+
+// SeqArena is a flat, reusable store of ID sequences: all IDs live in one
+// buffer and each sequence is a Span into it. Decoding a round's worth of
+// neighbor payloads into one arena replaces the per-message [][]ID
+// slice-of-slices of the convenience codec, so steady-state rounds reuse the
+// arena's capacity instead of allocating.
+type SeqArena struct {
+	IDs   []ID
+	Spans []Span
+}
+
+// Reset empties the arena, keeping capacity.
+func (a *SeqArena) Reset() {
+	a.IDs = a.IDs[:0]
+	a.Spans = a.Spans[:0]
+}
+
+// Len returns the number of stored sequences.
+func (a *SeqArena) Len() int { return len(a.Spans) }
+
+// Seq returns the i-th sequence. The slice aliases the arena and is valid
+// until the next Reset or append.
+func (a *SeqArena) Seq(i int) []ID {
+	sp := a.Spans[i]
+	return a.IDs[sp.Off : sp.Off+sp.Len]
+}
+
+// Append stores a copy of seq as a new sequence.
+func (a *SeqArena) Append(seq []ID) {
+	a.Spans = append(a.Spans, Span{Off: int32(len(a.IDs)), Len: int32(len(seq))})
+	a.IDs = append(a.IDs, seq...)
+}
+
+// AppendWithTail stores a copy of seq extended by one trailing ID — the
+// "append my own ID" step of Algorithm 1, done without building the extended
+// sequence anywhere else first.
+func (a *SeqArena) AppendWithTail(seq []ID, tail ID) {
+	a.Spans = append(a.Spans, Span{Off: int32(len(a.IDs)), Len: int32(len(seq) + 1)})
+	a.IDs = append(a.IDs, seq...)
+	a.IDs = append(a.IDs, tail)
+}
+
+// AppendRank appends the serialization of r to buf.
+func AppendRank(buf []byte, r Rank) []byte {
+	buf = append(buf, KindRank)
+	return binary.AppendUvarint(buf, r.Rank)
+}
+
 // EncodeRank serializes r.
 func EncodeRank(r Rank) []byte {
-	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
-	buf = append(buf, KindRank)
-	buf = binary.AppendUvarint(buf, r.Rank)
-	return buf
+	return AppendRank(make([]byte, 0, 1+binary.MaxVarintLen64), r)
 }
 
 // DecodeRank parses a Rank payload.
@@ -75,17 +133,12 @@ func DecodeRank(p []byte) (Rank, error) {
 	return Rank{Rank: v}, nil
 }
 
-// EncodeCheck serializes c. Sequence IDs are encoded with unsigned varints;
-// fake IDs (negative) are an internal device of Algorithm 1 and are never
-// transmitted, so encoding panics if one leaks into a message — that would
-// be an algorithm bug, not an I/O condition.
-func EncodeCheck(c *Check) []byte {
-	buf := make([]byte, 0, 16+8*len(c.Seqs)*4)
-	buf = append(buf, KindCheck)
-	buf = appendID(buf, c.U)
-	buf = appendID(buf, c.V)
-	buf = binary.AppendUvarint(buf, c.Rank)
-	buf = binary.AppendUvarint(buf, uint64(len(c.Seqs)))
+// AppendCheck appends the serialization of c to buf. Sequence IDs are encoded
+// with unsigned varints; fake IDs (negative) are an internal device of
+// Algorithm 1 and are never transmitted, so encoding panics if one leaks into
+// a message — that would be an algorithm bug, not an I/O condition.
+func AppendCheck(buf []byte, c *Check) []byte {
+	buf = appendCheckHeader(buf, c.U, c.V, c.Rank, len(c.Seqs))
 	for _, seq := range c.Seqs {
 		buf = binary.AppendUvarint(buf, uint64(len(seq)))
 		for _, id := range seq {
@@ -95,6 +148,34 @@ func EncodeCheck(c *Check) []byte {
 	return buf
 }
 
+// AppendCheckArena appends the serialization of a check message whose
+// sequence set lives in a SeqArena. The wire format is byte-identical to
+// AppendCheck on the equivalent *Check.
+func AppendCheckArena(buf []byte, u, v ID, rank uint64, a *SeqArena) []byte {
+	buf = appendCheckHeader(buf, u, v, rank, a.Len())
+	for i := 0; i < a.Len(); i++ {
+		seq := a.Seq(i)
+		buf = binary.AppendUvarint(buf, uint64(len(seq)))
+		for _, id := range seq {
+			buf = appendID(buf, id)
+		}
+	}
+	return buf
+}
+
+func appendCheckHeader(buf []byte, u, v ID, rank uint64, nseqs int) []byte {
+	buf = append(buf, KindCheck)
+	buf = appendID(buf, u)
+	buf = appendID(buf, v)
+	buf = binary.AppendUvarint(buf, rank)
+	return binary.AppendUvarint(buf, uint64(nseqs))
+}
+
+// EncodeCheck serializes c.
+func EncodeCheck(c *Check) []byte {
+	return AppendCheck(make([]byte, 0, 16+8*len(c.Seqs)*4), c)
+}
+
 func appendID(buf []byte, id ID) []byte {
 	if id < 0 {
 		panic(fmt.Sprintf("wire: negative (fake) ID %d must not be transmitted", id))
@@ -102,62 +183,203 @@ func appendID(buf []byte, id ID) []byte {
 	return binary.AppendUvarint(buf, uint64(id))
 }
 
-// DecodeCheck parses a Check payload.
-func DecodeCheck(p []byte) (*Check, error) {
+// CheckView is a zero-copy parse of a Check payload: the header fields plus
+// an in-place cursor over the still-encoded sequence bytes. It lets a
+// receiver apply the preemption rule (which needs only U, V and Rank) and
+// discard losing checks without ever decoding their sequences.
+type CheckView struct {
+	U, V    ID
+	Rank    uint64
+	NumSeqs int
+	body    []byte // the encoded sequences (everything after the count)
+}
+
+// ParseCheck reads the header of a Check payload in place. The sequence
+// bytes are not validated; call Validate or decode them to do that.
+func ParseCheck(p []byte) (CheckView, error) {
+	var v CheckView
 	if len(p) == 0 {
-		return nil, ErrTruncated
+		return v, ErrTruncated
 	}
 	if p[0] != KindCheck {
-		return nil, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindCheck)
+		return v, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindCheck)
 	}
 	p = p[1:]
-	var c Check
 	var err error
-	if c.U, p, err = readID(p); err != nil {
-		return nil, err
+	if v.U, p, err = readID(p); err != nil {
+		return v, err
 	}
-	if c.V, p, err = readID(p); err != nil {
-		return nil, err
+	if v.V, p, err = readID(p); err != nil {
+		return v, err
 	}
 	rank, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrTruncated
+		return v, ErrTruncated
 	}
 	p = p[n:]
-	c.Rank = rank
+	v.Rank = rank
 	cnt, n := binary.Uvarint(p)
 	if n <= 0 {
-		return nil, ErrTruncated
+		return v, ErrTruncated
 	}
 	p = p[n:]
 	if cnt > uint64(len(p))+1 {
 		// Each sequence costs at least one byte (its length varint), so a
 		// count beyond the remaining bytes means corruption; reject before
-		// allocating.
-		return nil, ErrTruncated
+		// any caller sizes a buffer from it.
+		return v, ErrTruncated
 	}
-	c.Seqs = make([][]ID, cnt)
+	v.NumSeqs = int(cnt)
+	v.body = p
+	return v, nil
+}
+
+// Iter returns an in-place iterator over the view's sequences.
+func (v *CheckView) Iter() SeqIter {
+	return SeqIter{p: v.body, n: v.NumSeqs}
+}
+
+// Validate walks the sequence bytes without storing them and returns the
+// error DecodeCheck would return: truncated fields or trailing bytes. A nil
+// result guarantees that decoding the view cannot fail.
+func (v *CheckView) Validate() error {
+	it := v.Iter()
+	for it.Skip() {
+	}
+	if it.err != nil {
+		return it.err
+	}
+	if len(it.p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(it.p))
+	}
+	return nil
+}
+
+// DecodeInto appends every sequence of the view to a. On error the arena is
+// rolled back to its prior state. Trailing bytes after the last sequence are
+// an error, matching DecodeCheck.
+func (v *CheckView) DecodeInto(a *SeqArena) error {
+	it := v.Iter()
+	idMark, spanMark := len(a.IDs), len(a.Spans)
+	for {
+		off := int32(len(a.IDs))
+		ids, ok := it.Next(a.IDs)
+		if !ok {
+			break
+		}
+		a.IDs = ids
+		a.Spans = append(a.Spans, Span{Off: off, Len: int32(len(ids)) - off})
+	}
+	err := it.err
+	if err == nil && len(it.p) != 0 {
+		err = fmt.Errorf("wire: %d trailing bytes", len(it.p))
+	}
+	if err != nil {
+		a.IDs, a.Spans = a.IDs[:idMark], a.Spans[:spanMark]
+		return err
+	}
+	return nil
+}
+
+// DecodeCheckInto parses p and appends all its sequences to the caller-owned
+// arena, returning the header. It is the hot-path replacement for
+// DecodeCheck: the arena's buffers are reused across calls, so steady-state
+// decoding allocates nothing.
+func DecodeCheckInto(p []byte, a *SeqArena) (CheckView, error) {
+	v, err := ParseCheck(p)
+	if err != nil {
+		return CheckView{}, err
+	}
+	if err := v.DecodeInto(a); err != nil {
+		return CheckView{}, err
+	}
+	return v, nil
+}
+
+// SeqIter reads a view's sequences in place, one varint at a time.
+type SeqIter struct {
+	p   []byte
+	n   int
+	err error
+}
+
+// Next appends the next sequence's IDs to dst, returning the extended slice
+// and true; it returns false when the sequences are exhausted or malformed
+// (check Err).
+func (it *SeqIter) Next(dst []ID) ([]ID, bool) {
+	ln, ok := it.head()
+	if !ok {
+		return dst, false
+	}
+	for j := uint64(0); j < ln; j++ {
+		v, k := binary.Uvarint(it.p)
+		if k <= 0 {
+			it.err = ErrTruncated
+			return dst, false
+		}
+		it.p = it.p[k:]
+		dst = append(dst, ID(v))
+	}
+	return dst, true
+}
+
+// Skip advances past the next sequence without decoding its IDs into a
+// buffer; it returns false when exhausted or malformed (check Err).
+func (it *SeqIter) Skip() bool {
+	ln, ok := it.head()
+	if !ok {
+		return false
+	}
+	for j := uint64(0); j < ln; j++ {
+		_, k := binary.Uvarint(it.p)
+		if k <= 0 {
+			it.err = ErrTruncated
+			return false
+		}
+		it.p = it.p[k:]
+	}
+	return true
+}
+
+// head consumes the next sequence's length varint.
+func (it *SeqIter) head() (uint64, bool) {
+	if it.err != nil || it.n == 0 {
+		return 0, false
+	}
+	it.n--
+	ln, k := binary.Uvarint(it.p)
+	if k <= 0 {
+		it.err = ErrTruncated
+		return 0, false
+	}
+	it.p = it.p[k:]
+	if ln > uint64(len(it.p)) {
+		it.err = ErrTruncated
+		return 0, false
+	}
+	return ln, true
+}
+
+// Err returns the first malformation encountered, if any.
+func (it *SeqIter) Err() error { return it.err }
+
+// Trailing returns the number of unconsumed bytes; after an exhausted
+// iteration a well-formed payload leaves zero.
+func (it *SeqIter) Trailing() int { return len(it.p) }
+
+// DecodeCheck parses a Check payload into a freshly allocated *Check. Cold
+// paths and tests only; the simulator decodes with DecodeCheckInto.
+func DecodeCheck(p []byte) (*Check, error) {
+	var a SeqArena
+	v, err := DecodeCheckInto(p, &a)
+	if err != nil {
+		return nil, err
+	}
+	c := &Check{U: v.U, V: v.V, Rank: v.Rank, Seqs: make([][]ID, a.Len())}
 	for i := range c.Seqs {
-		ln, n := binary.Uvarint(p)
-		if n <= 0 {
-			return nil, ErrTruncated
-		}
-		p = p[n:]
-		if ln > uint64(len(p)) {
-			return nil, ErrTruncated
-		}
-		seq := make([]ID, ln)
-		for j := range seq {
-			if seq[j], p, err = readID(p); err != nil {
-				return nil, err
-			}
-		}
-		c.Seqs[i] = seq
+		c.Seqs[i] = a.Seq(i)
 	}
-	if len(p) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(p))
-	}
-	return &c, nil
+	return c, nil
 }
 
 func readID(p []byte) (ID, []byte, error) {
