@@ -2,12 +2,12 @@
 # targets just bundle the common invocations.
 
 # Benchmarks included in perf snapshots: the simulator hot path (tester,
-# engines) and the micro-benchmarks behind it. The experiment benchmarks
-# (E1-E12) are reproduction runs, not perf-tracking targets.
-BENCH ?= TesterByK|EnginesCompare|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
-SNAPSHOT ?= BENCH_1.json
+# engines, network reuse) and the micro-benchmarks behind it. The experiment
+# benchmarks (E1-E12) are reproduction runs, not perf-tracking targets.
+BENCH ?= TesterByK|EnginesCompare|NetworkReuse|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
+SNAPSHOT ?= BENCH_2.json
 
-.PHONY: all build test race vet fmt bench check
+.PHONY: all build test race vet fmt bench bench-compare check
 
 all: check
 
@@ -30,7 +30,13 @@ check: fmt vet test
 
 # bench runs the perf-tracking benchmarks and writes $(SNAPSHOT) — a JSON
 # map of benchmark name -> {ns_op, bytes_per_op, allocs_per_op} — so future
-# PRs have a committed trajectory to compare against (BENCH_1.json for this
-# PR, BENCH_2.json for the next, ...).
+# PRs have a committed trajectory to compare against (BENCH_1.json for PR 1,
+# BENCH_2.json for this PR, BENCH_3.json for the next, ...).
 bench:
 	go test -run=NONE -bench '$(BENCH)' -benchmem | go run ./cmd/benchsnap -o $(SNAPSHOT)
+
+# bench-compare diffs the two latest committed BENCH_*.json snapshots and
+# prints per-benchmark ns/op and allocs/op deltas. Reporting only — it never
+# fails the build (CI runs it as a non-blocking step).
+bench-compare:
+	go run ./cmd/benchdiff

@@ -8,6 +8,7 @@ package cycledetect
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"cycledetect/internal/bench"
@@ -16,6 +17,7 @@ import (
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
 	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
 	"cycledetect/internal/wire"
 	"cycledetect/internal/xrand"
 )
@@ -78,6 +80,65 @@ func BenchmarkEnginesCompare(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := congest.RunChannels(g, prog, congest.Config{Seed: uint64(i)}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNetworkReuse is the sweep-workload benchmark behind the
+// internal/network subsystem: 100 single-repetition tester runs (different
+// seeds) on one 256-node G(n,4n) graph, executed the pre-PR way — a fresh
+// congest.Run per repetition, paying topology, engine, node and RNG setup
+// every time — versus on one reused Network with a cached Program. Both
+// paths are verified to produce identical decisions and stats before
+// timing. The reused path must be ≥5× cheaper in allocs/op (it is ~0 per
+// repetition in steady state; see TestNetworkRunAllocFree).
+func BenchmarkNetworkReuse(b *testing.B) {
+	rng := xrand.New(10)
+	g := graph.ConnectedGNM(256, 1024, rng)
+	const reps = 100
+	const k = 7
+
+	// Cross-check: every seed's decision and stats must match between the
+	// fresh-run and reused-network paths.
+	nw, err := network.New(g, network.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nw.Close()
+	checkProg := &core.Tester{K: k, Reps: 1}
+	for s := uint64(0); s < reps; s++ {
+		want, err := congest.Run(g, &core.Tester{K: k, Reps: 1}, congest.Config{Seed: s})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := nw.RunProgram(checkProg, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wd, gd := core.Summarize(want.Outputs, want.IDs), core.Summarize(got.Outputs, got.IDs)
+		if wd.Reject != gd.Reject || !reflect.DeepEqual(want.Stats, got.Stats) {
+			b.Fatalf("seed %d: reused network diverged from congest.Run", s)
+		}
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := uint64(0); s < reps; s++ {
+				prog := &core.Tester{K: k, Reps: 1}
+				if _, err := congest.Run(g, prog, congest.Config{Seed: s}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		prog := &core.Tester{K: k, Reps: 1}
+		for i := 0; i < b.N; i++ {
+			for s := uint64(0); s < reps; s++ {
+				if _, err := nw.RunProgram(prog, s); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -99,6 +99,11 @@ type Config struct {
 	// Quick shrinks sample counts for use inside unit tests and fast
 	// benchmark iterations; the full sweeps are used by cmd/experiments.
 	Quick bool
+	// Workers caps each simulation's BSP worker pool (0 means GOMAXPROCS).
+	// Callers that already parallelize across experiments (cmd/experiments
+	// -parallel) set it to 1 so the machine is not oversubscribed with
+	// experiments × pool-workers goroutines.
+	Workers int
 }
 
 func (c Config) samples(full, quick int) int {

@@ -9,14 +9,37 @@ import (
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
 	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
 	"cycledetect/internal/ptest"
 	"cycledetect/internal/stats"
 	"cycledetect/internal/xrand"
 )
 
-// run executes a core program on g and returns (decision, stats).
-func run(g *graph.Graph, p congest.Program, seed uint64) (core.Decision, congest.Stats) {
-	res, err := congest.Run(g, p, congest.Config{Seed: seed})
+// run executes a core program on g and returns (decision, stats) through a
+// one-shot Network. Repetition-heavy experiments (E3, E4, E11) instead
+// build one Network per graph (via c.network) and call runOn per trial,
+// amortizing topology, engine, and node construction across all trials.
+func (c Config) run(g *graph.Graph, p congest.Program, seed uint64) (core.Decision, congest.Stats) {
+	nw := c.network(g)
+	defer nw.Close()
+	return runOn(nw, p, seed)
+}
+
+// network builds a reusable Network for g honoring the config's worker cap.
+func (c Config) network(g *graph.Graph) *network.Network {
+	nw, err := network.New(g, network.Options{Workers: c.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("bench: network build failed: %v", err))
+	}
+	return nw
+}
+
+// runOn executes p on a reused Network. The returned Stats aliases the
+// Network's per-round slices, which the next run on the same Network
+// overwrites; experiments that reuse a Network read only scalar Stats
+// fields, and one-shot callers (run) retire the Network immediately.
+func runOn(nw *network.Network, p congest.Program, seed uint64) (core.Decision, congest.Stats) {
+	res, err := nw.RunProgram(p, seed)
 	if err != nil {
 		panic(fmt.Sprintf("bench: simulation failed: %v", err))
 	}
@@ -42,7 +65,7 @@ func RunE1(cfg Config) *Table {
 			for _, n := range ns {
 				g := graph.ConnectedGNM(n, 3*n, rng)
 				prog := &core.Tester{K: k, Eps: eps}
-				_, st := run(g, prog, cfg.Seed)
+				_, st := cfg.run(g, prog, cfg.Seed)
 				t.AddRow(
 					fmt.Sprint(k), fmt.Sprintf("%.2f", eps),
 					fmt.Sprint(n), fmt.Sprint(g.M()),
@@ -87,7 +110,7 @@ func RunE2(cfg Config) *Table {
 		for _, k := range ks {
 			e := gc.g.Edges()[0]
 			prog := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V)}
-			dec, _ := run(gc.g, prog, cfg.Seed)
+			dec, _ := cfg.run(gc.g, prog, cfg.Seed)
 			for tr, got := range dec.MaxSeqsPerRound {
 				bound := combin.PaperMessageBound(k, tr+1)
 				ok := uint64(got) <= bound
@@ -126,14 +149,16 @@ func RunE3(cfg Config) *Table {
 	}
 	seeds := cfg.samples(20, 4)
 	for _, f := range families {
+		// One reusable Network per family, shared by every (k, seed) run.
+		nw := cfg.network(f.g)
 		for k := 3; k <= 8; k++ {
 			if central.HasCk(f.g, k) {
 				continue // only Ck-free combinations belong in this table
 			}
+			prog := &core.Tester{K: k, Reps: 4}
 			rejects := 0
 			for s := 0; s < seeds; s++ {
-				prog := &core.Tester{K: k, Reps: 4}
-				dec, _ := run(f.g, prog, cfg.Seed+uint64(1000*s))
+				dec, _ := runOn(nw, prog, cfg.Seed+uint64(1000*s))
 				if dec.Reject {
 					rejects++
 				}
@@ -143,6 +168,7 @@ func RunE3(cfg Config) *Table {
 			}
 			t.AddRow(f.name, fmt.Sprint(k), fmt.Sprint(seeds), fmt.Sprint(rejects))
 		}
+		nw.Close()
 	}
 	return t
 }
@@ -163,11 +189,15 @@ func RunE4(cfg Config) *Table {
 	for _, k := range []int{3, 5, 6} {
 		eps := 0.08
 		g, _ := graph.FarFromCkFree(60, k, eps, rng)
+		// Both trial loops re-run the tester on the same graph; one reusable
+		// Network (and one Program value per loop, so the cached per-node
+		// state is re-bound rather than rebuilt) amortizes all setup.
+		nw := cfg.network(g)
 		// Amplified tester.
+		ampProg := &core.Tester{K: k, Eps: eps}
 		rejects := 0
 		for s := 0; s < trialsFull; s++ {
-			prog := &core.Tester{K: k, Eps: eps}
-			dec, _ := run(g, prog, cfg.Seed+uint64(s)*7919)
+			dec, _ := runOn(nw, ampProg, cfg.Seed+uint64(s)*7919)
 			if dec.Reject {
 				rejects++
 			}
@@ -181,14 +211,15 @@ func RunE4(cfg Config) *Table {
 			fmt.Sprint(trialsFull), fmt.Sprint(rejects), fmt.Sprintf("%.3f", rate),
 			fmt.Sprintf("[%.3f,%.3f]", lo, hi), ">=0.667")
 		// Single repetition.
+		repProg := &core.Tester{K: k, Reps: 1}
 		rejects = 0
 		for s := 0; s < trialsRep; s++ {
-			prog := &core.Tester{K: k, Reps: 1}
-			dec, _ := run(g, prog, cfg.Seed+uint64(s)*104729)
+			dec, _ := runOn(nw, repProg, cfg.Seed+uint64(s)*104729)
 			if dec.Reject {
 				rejects++
 			}
 		}
+		nw.Close()
 		lo, hi = stats.WilsonCI(rejects, trialsRep)
 		rate = float64(rejects) / float64(trialsRep)
 		bound := ptest.RepSuccessLowerBound(eps)

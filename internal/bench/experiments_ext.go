@@ -42,7 +42,7 @@ func RunE7(cfg Config) *Table {
 	g := Fig1Graph()
 	log := &trace.Log{}
 	prog := &core.EdgeDetector{K: 5, U: 0, V: 1, Trace: log}
-	dec, _ := run(g, prog, cfg.Seed)
+	dec, _ := cfg.run(g, prog, cfg.Seed)
 	for _, ev := range log.Events() {
 		t.AddRow(fmt.Sprint(ev.Round), fmt.Sprint(ev.Node), ev.Kind, ev.Text)
 	}
@@ -86,8 +86,8 @@ func RunE8(cfg Config) *Table {
 		e := graph.Edge{U: 0, V: d}
 		naive := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V), Mode: core.ModeNaive}
 		pruned := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V)}
-		dn, sn := run(g, naive, cfg.Seed)
-		dp, sp := run(g, pruned, cfg.Seed)
+		dn, sn := cfg.run(g, naive, cfg.Seed)
+		dp, sp := cfg.run(g, pruned, cfg.Seed)
 		both := dn.Reject && dp.Reject
 		if !both || uint64(dp.MaxSeqs) > bound || dn.MaxSeqs < prevNaive {
 			t.Violations++
@@ -119,7 +119,7 @@ func RunE9(cfg Config) *Table {
 			n := 20 + rng.Intn(20)
 			g, e := graph.PlantedCycle(n, k, rng.Intn(6), rng)
 			prog := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V)}
-			dec, _ := run(g, prog, cfg.Seed+uint64(tr))
+			dec, _ := cfg.run(g, prog, cfg.Seed+uint64(tr))
 			if dec.Reject {
 				detected++
 			} else {
@@ -154,7 +154,7 @@ func RunE10(cfg Config) *Table {
 		for _, n := range ns {
 			g := graph.ConnectedGNM(n, 4*n, rng)
 			prog := &core.Tester{K: k, Reps: 2}
-			_, st := run(g, prog, cfg.Seed)
+			_, st := cfg.run(g, prog, cfg.Seed)
 			ratio := float64(st.MaxMessageBits) / math.Log2(float64(n))
 			ratios = append(ratios, ratio)
 			t.AddRow(fmt.Sprint(k), fmt.Sprint(n), fmt.Sprint(g.M()),
@@ -188,9 +188,13 @@ func RunE11(cfg Config) *Table {
 	for _, k := range []int{3, 4, 6} {
 		g, e := graph.PlantedCycle(n, k, n/4, rng)
 		want := central.HasCkThroughEdge(g, k, e)
+		// Every baseline runs on the same instance: one reusable Network
+		// serves them all (the programs differ, so only the topology,
+		// engine, and payload tables are amortized here).
+		nw := cfg.network(g)
 		// Pruned Phase 2.
 		pr := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V)}
-		dp, sp := run(g, pr, cfg.Seed)
+		dp, sp := runOn(nw, pr, cfg.Seed)
 		if dp.Reject != want {
 			t.Violations++
 		}
@@ -198,7 +202,7 @@ func RunE11(cfg Config) *Table {
 			fmt.Sprint(dp.Reject), fmt.Sprint(k/2), fmt.Sprint(sp.MaxMessageBits), "CONGEST-compliant")
 		// Naive Phase 2.
 		na := &core.EdgeDetector{K: k, U: int64(e.U), V: int64(e.V), Mode: core.ModeNaive}
-		dn, sn := run(g, na, cfg.Seed)
+		dn, sn := runOn(nw, na, cfg.Seed)
 		if dn.Reject != want {
 			t.Violations++
 		}
@@ -219,7 +223,7 @@ func RunE11(cfg Config) *Table {
 		if k == 3 {
 			eps := 0.1
 			tri := &core.TriangleTester{Eps: eps}
-			dtri, stri := run(g, tri, cfg.Seed)
+			dtri, stri := runOn(nw, tri, cfg.Seed)
 			ours := (&core.Tester{K: 3, Eps: eps}).Rounds(g.N(), g.M())
 			if !dtri.Reject && central.CountTriangles(g) > 0 {
 				// Randomized baseline may miss; not a violation of OUR
@@ -235,7 +239,7 @@ func RunE11(cfg Config) *Table {
 		if k == 4 {
 			eps := 0.1
 			c4 := &core.C4Tester{Eps: eps}
-			dc4, sc4 := run(g, c4, cfg.Seed)
+			dc4, sc4 := runOn(nw, c4, cfg.Seed)
 			ours := (&core.Tester{K: 4, Eps: eps}).Rounds(g.N(), g.M())
 			if !dc4.Reject && central.HasCk(g, 4) {
 				t.Note("C4 baseline missed on this seed (randomized; allowed)")
@@ -244,6 +248,7 @@ func RunE11(cfg Config) *Table {
 				fmt.Sprint(dc4.Reject), fmt.Sprint(sc4.Rounds), fmt.Sprint(sc4.MaxMessageBits),
 				fmt.Sprintf("O(1/eps^2)=%d rounds vs our O(1/eps)=%d", sc4.Rounds, ours))
 		}
+		nw.Close()
 	}
 	return t
 }

@@ -27,7 +27,7 @@ func RunE12(cfg Config) *Table {
 	g := graph.ConnectedGNM(n, 4*n, rng)
 	for _, k := range []int{4, 6, 8} {
 		prog := &core.Tester{K: k, Reps: 1}
-		_, st := run(g, prog, cfg.Seed)
+		_, st := cfg.run(g, prog, cfg.Seed)
 		for r := 0; r < st.Rounds; r++ {
 			role := "rank"
 			if r > 0 {

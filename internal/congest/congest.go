@@ -76,6 +76,17 @@ type Program interface {
 	NewNode(info NodeInfo) Node
 }
 
+// ReusableNode is an optional Node extension for build-once / run-many
+// execution (see internal/network): a node that can be re-bound to a fresh
+// run of the same Program without reallocation. Reset must leave the node
+// observably equivalent to what NewNode would have produced for the same
+// info — internal buffers may keep their capacity, but no state from the
+// previous run may leak into outputs, traffic, or metrics.
+type ReusableNode interface {
+	Node
+	Reset(info NodeInfo)
+}
+
 // Config controls a simulation run.
 type Config struct {
 	// Seed seeds every node's private coin stream (per-node streams are
@@ -103,7 +114,9 @@ type Stats struct {
 	AvgMessageBits   float64 // TotalBits / MessagesSent (0 if no messages)
 }
 
-func newStats(rounds int) Stats {
+// NewStats returns a zeroed Stats with per-round arrays sized for the given
+// round count.
+func NewStats(rounds int) Stats {
 	return Stats{
 		Rounds:           rounds,
 		PerRoundMaxBits:  make([]int, rounds),
@@ -112,10 +125,10 @@ func newStats(rounds int) Stats {
 	}
 }
 
-// newStatsSlab returns count Stats whose per-round arrays are carved from
+// NewStatsSlab returns count Stats whose per-round arrays are carved from
 // three shared backing slices, so per-node (or per-worker) accounting costs
 // a constant number of allocations instead of O(count).
-func newStatsSlab(count, rounds int) []Stats {
+func NewStatsSlab(count, rounds int) []Stats {
 	ss := make([]Stats, count)
 	maxb := make([]int, count*rounds)
 	bits := make([]int64, count*rounds)
@@ -132,7 +145,27 @@ func newStatsSlab(count, rounds int) []Stats {
 	return ss
 }
 
-func (s *Stats) observe(round int, bits int) {
+// Reset zeroes s in place for reuse across runs, keeping the per-round
+// slices (they must already have the right length for the next run).
+func (s *Stats) Reset() {
+	s.MessagesSent = 0
+	s.TotalBits = 0
+	s.MaxMessageBits = 0
+	s.AvgMessageBits = 0
+	for i := range s.PerRoundMaxBits {
+		s.PerRoundMaxBits[i] = 0
+	}
+	for i := range s.PerRoundBits {
+		s.PerRoundBits[i] = 0
+	}
+	for i := range s.PerRoundMessages {
+		s.PerRoundMessages[i] = 0
+	}
+}
+
+// Observe records one sent payload of the given size at the given round
+// (1-based).
+func (s *Stats) Observe(round int, bits int) {
 	s.MessagesSent++
 	s.TotalBits += int64(bits)
 	if bits > s.MaxMessageBits {
@@ -145,15 +178,16 @@ func (s *Stats) observe(round int, bits int) {
 	s.PerRoundMessages[round-1]++
 }
 
-func (s *Stats) finalize() {
+// Finalize fills the derived fields after the last Observe/Merge.
+func (s *Stats) Finalize() {
 	if s.MessagesSent > 0 {
 		s.AvgMessageBits = float64(s.TotalBits) / float64(s.MessagesSent)
 	}
 }
 
-// merge folds other into s (used by the channel engine to combine per-node
-// stats).
-func (s *Stats) merge(other *Stats) {
+// Merge folds other into s (used by the engines to combine per-node or
+// per-worker stats).
+func (s *Stats) Merge(other *Stats) {
 	s.MessagesSent += other.MessagesSent
 	s.TotalBits += other.TotalBits
 	if other.MaxMessageBits > s.MaxMessageBits {
@@ -193,15 +227,19 @@ func (e *ErrBandwidth) Error() string {
 		e.Round, e.From, e.To, e.Bits, e.BudgetBit)
 }
 
-// topology is the precomputed port structure shared by both engines.
-type topology struct {
+// Topology is the precomputed port structure shared by both engines: the ID
+// assignment, per-port neighbor IDs, and the reverse-port table. Building it
+// validates the ID assignment; once built it is immutable, so a Topology can
+// be shared by many runs on the same graph (see internal/network).
+type Topology struct {
 	g       *graph.Graph
 	ids     []ID
 	revPort [][]int32 // revPort[v][p] = the port of v on the neighbor reached via v's port p
 	nbrIDs  [][]ID    // nbrIDs[v][p] = the ID of v's port-p neighbor
 }
 
-func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
+// BuildTopology validates cfg.IDs and precomputes the port structure for g.
+func BuildTopology(g *graph.Graph, cfg *Config) (*Topology, error) {
 	n := g.N()
 	ids := cfg.IDs
 	if ids == nil {
@@ -224,7 +262,7 @@ func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
 			seen[id] = struct{}{}
 		}
 	}
-	t := &topology{g: g, ids: ids, revPort: make([][]int32, n), nbrIDs: make([][]ID, n)}
+	t := &Topology{g: g, ids: ids, revPort: make([][]int32, n), nbrIDs: make([][]ID, n)}
 	// Adjacency lists are sorted, so a neighbor's reverse port is found by
 	// binary search; the per-vertex slices are carved from two flat backing
 	// arrays to keep setup allocations independent of n.
@@ -245,11 +283,32 @@ func buildTopology(g *graph.Graph, cfg *Config) (*topology, error) {
 	return t, nil
 }
 
-func (t *topology) nodeInfo(v int, seed uint64) NodeInfo {
+func (t *Topology) nodeInfo(v int, seed uint64) NodeInfo {
 	return NodeInfo{
 		ID:          t.ids[v],
 		N:           t.g.N(),
 		NeighborIDs: t.nbrIDs[v],
 		Rand:        xrand.Stream(seed, uint64(t.ids[v])),
+	}
+}
+
+// IDs returns the ID assignment (IDs()[v] is vertex v's identifier). The
+// slice is owned by the Topology and must not be modified.
+func (t *Topology) IDs() []ID { return t.ids }
+
+// RevPorts returns the reverse-port table of v: RevPorts(v)[p] is the port
+// of v on the neighbor reached via v's port p. Engine-owned; read-only.
+func (t *Topology) RevPorts(v int) []int32 { return t.revPort[v] }
+
+// Info assembles vertex v's NodeInfo around a caller-owned RNG. The caller
+// must seed r to the node's coin stream — SeedStream(runSeed, uint64(ID)) —
+// which is how internal/network reuses one RNG value per node across runs
+// instead of allocating a fresh stream per run.
+func (t *Topology) Info(v int, r *xrand.RNG) NodeInfo {
+	return NodeInfo{
+		ID:          t.ids[v],
+		N:           t.g.N(),
+		NeighborIDs: t.nbrIDs[v],
+		Rand:        r,
 	}
 }

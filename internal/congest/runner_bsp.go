@@ -7,12 +7,14 @@ import (
 	"cycledetect/internal/graph"
 )
 
-// pool is a persistent worker pool for the BSP engine: workers are spawned
-// once per run and execute one phase function per barrier, each over a
+// WorkerPool is a persistent worker pool for BSP-style execution: workers
+// are spawned once and execute one phase function per barrier, each over a
 // static contiguous shard of the vertex range. The seed implementation
 // re-created goroutines and a work channel for every phase (3× per round);
-// the pool replaces that with one channel send per worker per phase.
-type pool struct {
+// the pool replaces that with one channel send per worker per phase. A
+// WorkerPool outlives individual runs — internal/network keeps one alive
+// across many RunProgram calls — so Close must be called when done.
+type WorkerPool struct {
 	workers int
 	lo, hi  []int           // shard bounds per worker
 	start   []chan struct{} // one wake-up channel per worker
@@ -20,8 +22,9 @@ type pool struct {
 	fn      func(w, lo, hi int) // current phase; written before wake-up
 }
 
-func newPool(workers, n int) *pool {
-	p := &pool{
+// NewWorkerPool spawns workers goroutines sharding the range [0, n).
+func NewWorkerPool(workers, n int) *WorkerPool {
+	p := &WorkerPool{
 		workers: workers,
 		lo:      make([]int, workers),
 		hi:      make([]int, workers),
@@ -41,10 +44,13 @@ func newPool(workers, n int) *pool {
 	return p
 }
 
-// run executes fn(w, lo, hi) on every worker's shard and waits for all of
+// Workers returns the worker count the pool was built with.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Run executes fn(w, lo, hi) on every worker's shard and waits for all of
 // them (the BSP barrier). The channel sends order p.fn's write before each
 // worker's read.
-func (p *pool) run(fn func(w, lo, hi int)) {
+func (p *WorkerPool) Run(fn func(w, lo, hi int)) {
 	p.fn = fn
 	p.wg.Add(p.workers)
 	for _, c := range p.start {
@@ -53,8 +59,8 @@ func (p *pool) run(fn func(w, lo, hi int)) {
 	p.wg.Wait()
 }
 
-// close terminates the workers.
-func (p *pool) close() {
+// Close terminates the workers.
+func (p *WorkerPool) Close() {
 	for _, c := range p.start {
 		close(c)
 	}
@@ -71,7 +77,7 @@ func (p *pool) close() {
 // -race. Delivery and bandwidth accounting are parallelized by receiver,
 // with per-worker Stats merged after the final barrier.
 func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
-	topo, err := buildTopology(g, &cfg)
+	topo, err := BuildTopology(g, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +102,7 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{IDs: topo.ids}
-	res.Stats = newStats(rounds)
+	res.Stats = NewStats(rounds)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -105,13 +111,13 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	perWorker := newStatsSlab(workers, rounds)
+	perWorker := NewStatsSlab(workers, rounds)
 	workErr := make([]error, workers)
 
-	var pl *pool
+	var pl *WorkerPool
 	if workers > 1 {
-		pl = newPool(workers, n)
-		defer pl.close()
+		pl = NewWorkerPool(workers, n)
+		defer pl.Close()
 	}
 	// runPhase applies fn over the vertex shards, inline when single-worker.
 	runPhase := func(fn func(w, lo, hi int)) {
@@ -119,7 +125,7 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 			fn(0, 0, n)
 			return
 		}
-		pl.run(fn)
+		pl.Run(fn)
 	}
 
 	// The three phase bodies are allocated once; round is threaded through a
@@ -146,7 +152,7 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 					continue
 				}
 				bits := 8 * len(payload)
-				st.observe(round, bits)
+				st.Observe(round, bits)
 				if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits && workErr[w] == nil {
 					workErr[w] = &ErrBandwidth{
 						Round: round, From: topo.ids[u], To: topo.ids[v],
@@ -186,9 +192,9 @@ func Run(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 		}
 	})
 	for w := range perWorker {
-		res.Stats.merge(&perWorker[w])
+		res.Stats.Merge(&perWorker[w])
 	}
-	res.Stats.finalize()
+	res.Stats.Finalize()
 	return res, nil
 }
 

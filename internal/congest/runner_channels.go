@@ -29,7 +29,7 @@ import (
 // at round r, so two slots suffice, programs may reuse their out buffers
 // every round (see Node), and steady-state rounds allocate nothing.
 func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
-	topo, err := buildTopology(g, &cfg)
+	topo, err := BuildTopology(g, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -55,9 +55,9 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{IDs: topo.ids, Outputs: make([]any, n)}
-	res.Stats = newStats(rounds)
+	res.Stats = NewStats(rounds)
 
-	perNode := newStatsSlab(n, rounds)
+	perNode := NewStatsSlab(n, rounds)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -101,7 +101,7 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 					payload := out[pt]
 					if payload != nil {
 						bits := 8 * len(payload)
-						st.observe(r, bits)
+						st.Observe(r, bits)
 						if cfg.BandwidthBits > 0 && bits > cfg.BandwidthBits {
 							// Record the violation but still deliver a nil so
 							// neighbors do not deadlock; the run is aborted
@@ -142,9 +142,9 @@ func RunChannels(g *graph.Graph, p Program, cfg Config) (*Result, error) {
 		}
 		// MessagesSent per node was observed at the sender; merge into the
 		// global stats. Rounds and slice length already match.
-		res.Stats.merge(&perNode[v])
+		res.Stats.Merge(&perNode[v])
 	}
-	res.Stats.finalize()
+	res.Stats.Finalize()
 	return res, nil
 }
 

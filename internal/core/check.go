@@ -94,15 +94,39 @@ type checkState struct {
 
 // prealloc sizes the reusable buffers for a node of the given degree so that
 // a typical repetition performs no growth reallocations: received volume
-// scales with fan-in (deg neighbors × pruned message bound), sent volume
-// with the bound alone. Everything is carved from a few typed slabs, so a
-// node costs a constant number of setup allocations regardless of its
-// buffer sizes; undersized buffers just grow, they are never a correctness
-// concern.
+// scales with fan-in (deg neighbors × pruned per-message sequence count),
+// sent volume with the per-message count alone. Everything is carved from a
+// few typed slabs, so a node costs a constant number of setup allocations
+// regardless of its buffer sizes; undersized buffers just grow, they are
+// never a correctness concern — and with reusable Networks
+// (internal/network) any growth happens once per network lifetime, not once
+// per run.
+//
+// Sizing was re-measured for the degree distributions the sweep scheduler
+// generates (TestPreallocCoversSweepDensities drives the measurement;
+// 3-repetition Tester, high-water arena lengths over all nodes):
+//
+//	density   k   peak recv spans   old 4·deg+16 cap   over
+//	G(n,4n)   5            12             72           0.20×
+//	G(n,4n)   9           152             72           2.28×
+//	G(n,8n)   7           128            124           1.26×
+//	G(n,8n)   9           698            132           5.62×
+//	G(n,16n)  9          1413            180           7.87×
+//
+// The demand grows with k (round-t messages carry up to (k−t+1)^(t−1)
+// sequences, Lemma 3) and super-linearly with density (denser graphs carry
+// more DISTINCT sequences past the arrival dedup), so the reservation is now
+// k-aware: 3(k−3)·deg for receipts and 6(k−3) sent spans. Re-measured
+// utilization with these caps: G(n,4n) ≤ 0.80 for k ≤ 9, G(n,8n) ≤ 0.56 at
+// k = 7, K_{12,12} 0.92 at k = 8 — all covered outright. The densest k = 9
+// sweeps still overflow (1.6× at 8n, 1.9× at 16n) and grow their arenas
+// once during the first repetition — reserving for their worst case would
+// cost ~80 KB per node on graphs where most nodes never see that traffic,
+// the wrong trade at million-node scale.
 func (cs *checkState) prealloc(k, deg int) {
 	halfK := k / 2
-	recvSpans := 4*deg + 16
-	sentSpans := 16
+	recvSpans := preallocRecvSpans(k, deg)
+	sentSpans := preallocSentSpans(k)
 	scratch := 2*deg + 16
 	recvIDs := recvSpans * halfK
 	sentIDs := sentSpans * (halfK + 1)
@@ -120,6 +144,25 @@ func (cs *checkState) prealloc(k, deg int) {
 	cs.views = make([][]ID, 0, scratch)
 	cs.keptIdx = make([]int, 0, scratch)
 	cs.rep.Prealloc(k-2, sentSpans)
+}
+
+// preallocRecvSpans and preallocSentSpans are the arena reservations behind
+// prealloc, factored out so TestPreallocCoversSweepDensities can assert the
+// measured high-water demand stays within them. See prealloc's sizing table.
+func preallocRecvSpans(k, deg int) int {
+	f := 3 * (k - 3)
+	if f < 4 {
+		f = 4 // keep the original G(n,4n) tuning for small k
+	}
+	return f*deg + 16
+}
+
+func preallocSentSpans(k int) int {
+	s := 6 * (k - 3)
+	if s < 16 {
+		s = 16
+	}
+	return s
 }
 
 // reset rebinds the state to a new candidate edge, keeping all buffer

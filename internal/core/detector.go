@@ -50,7 +50,23 @@ type edgeDetNode struct {
 	info    congest.NodeInfo
 	cs      checkState
 	metrics NodeMetrics
-	payload []byte // reusable outgoing buffer; see testerNode
+	verdict Verdict // cached output, returned by pointer from Output
+	payload []byte  // reusable outgoing buffer; see testerNode
+}
+
+var _ congest.ReusableNode = (*edgeDetNode)(nil)
+
+// Reset implements congest.ReusableNode: re-bind the node to a fresh run of
+// the same EdgeDetector without reallocating its arenas. The detector is
+// deterministic, so Reset just replays NewNode's initialization on the
+// retained buffers.
+func (n *edgeDetNode) Reset(info congest.NodeInfo) {
+	d := n.prog
+	seeder := (info.ID == d.U && hasNeighbor(info.NeighborIDs, d.V)) ||
+		(info.ID == d.V && hasNeighbor(info.NeighborIDs, d.U))
+	n.info = info
+	n.metrics.reset()
+	n.cs.reset(d.K, d.U, d.V, 0, info.ID, seeder, d.Mode)
 }
 
 func (n *edgeDetNode) Send(round int, out [][]byte) {
@@ -95,7 +111,10 @@ func (n *edgeDetNode) Output() any {
 	if reject && n.prog.Trace != nil {
 		n.prog.Trace.Add(n.prog.K/2, n.info.ID, "reject", "detects C%d %v", n.prog.K, witness)
 	}
-	return Verdict{Reject: reject, Witness: witness, Metrics: n.metrics}
+	// Returned by pointer to keep output collection allocation-free; see
+	// testerNode.Output.
+	n.verdict = Verdict{Reject: reject, Witness: witness, Metrics: n.metrics}
+	return &n.verdict
 }
 
 func hasNeighbor(neighbors []ID, id ID) bool {

@@ -91,12 +91,29 @@ type testerNode struct {
 	rejected bool
 	witness  []ID
 	metrics  NodeMetrics
+	verdict  Verdict // cached output, returned by pointer from Output
 
 	// Reusable outgoing-payload buffers. The engines guarantee payloads are
 	// consumed before the next Send (BSP by its barriers, the channel engine
 	// by copying into per-edge buffers), so one buffer per kind suffices.
 	rankBuf  []byte
 	checkBuf []byte
+}
+
+var _ congest.ReusableNode = (*testerNode)(nil)
+
+// Reset implements congest.ReusableNode: re-bind the node to a fresh run of
+// the same Tester (typically with a different coin stream) without
+// reallocating its arenas. Phase-1 state (edgeRanks, mine) is rewritten by
+// startRepetition at round 1 and checkState is rewritten by selectCheck (or
+// by consider, on preemption) before first use, so only cross-repetition
+// state needs clearing here.
+func (n *testerNode) Reset(info congest.NodeInfo) {
+	n.info = info
+	n.active = false
+	n.rejected = false
+	n.witness = nil
+	n.metrics.reset()
 }
 
 // phase decomposes a global round number into (repetition, local round);
@@ -248,7 +265,12 @@ func (n *testerNode) consider(local int, c *wire.CheckView) {
 }
 
 func (n *testerNode) Output() any {
-	return Verdict{Reject: n.rejected, Witness: n.witness, Metrics: n.metrics}
+	// The verdict is cached in the node and returned by pointer so that
+	// engine output collection does not box a multi-word struct — the last
+	// per-node allocation on the reusable-network run path. The pointee is
+	// valid until the node's next Reset.
+	n.verdict = Verdict{Reject: n.rejected, Witness: n.witness, Metrics: n.metrics}
+	return &n.verdict
 }
 
 // canonEdge orders an ID pair.

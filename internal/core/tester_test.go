@@ -270,7 +270,7 @@ func TestTesterRejectingNodesAreSound(t *testing.T) {
 			t.Fatal(err)
 		}
 		for v, o := range res.Outputs {
-			verdict := o.(Verdict)
+			verdict := *o.(*Verdict)
 			if !verdict.Reject {
 				continue
 			}

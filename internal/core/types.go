@@ -30,6 +30,18 @@ type NodeMetrics struct {
 	ChecksStarted int
 }
 
+// reset zeroes the counters in place for node reuse across runs. The
+// MaxSeqsPerRound slice keeps its backing array (observeSend re-fills it),
+// so a reused node allocates nothing on its next run.
+func (m *NodeMetrics) reset() {
+	for i := range m.MaxSeqsPerRound {
+		m.MaxSeqsPerRound[i] = 0
+	}
+	m.MaxSeqs = 0
+	m.Switches = 0
+	m.ChecksStarted = 0
+}
+
 func (m *NodeMetrics) observeSend(t, seqs, rounds int) {
 	if m.MaxSeqsPerRound == nil {
 		m.MaxSeqsPerRound = make([]int, rounds)
@@ -65,8 +77,16 @@ func Summarize(outputs []any, ids []ID) Decision {
 	var d Decision
 	var witnessFrom ID = -1
 	for v, o := range outputs {
-		verdict, ok := o.(Verdict)
-		if !ok {
+		var verdict Verdict
+		// Nodes on the zero-allocation path return a pointer to a cached
+		// Verdict (boxing a pointer into any does not allocate); the simpler
+		// baseline programs return the struct by value.
+		switch t := o.(type) {
+		case Verdict:
+			verdict = t
+		case *Verdict:
+			verdict = *t
+		default:
 			continue
 		}
 		if verdict.Reject {

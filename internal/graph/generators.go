@@ -291,6 +291,24 @@ func PlantedCycle(n, k, extra int, rng *xrand.RNG) (*Graph, Edge) {
 	return b.Build(), Edge{cyc[0], cyc[1]}.Canon()
 }
 
+// FarFromCkFreeFeasible reports whether FarFromCkFree(n, k, eps, ·) can
+// build its graph, by replaying the generator's own packing search: the
+// construction has m = n + q − 1 edges, needs q > eps·m strictly, and must
+// fit q vertex-disjoint k-cycles in n vertices. Grid schedulers (see
+// internal/sweep) use it to skip unsatisfiable parameter points instead of
+// tripping the generator's panic.
+func FarFromCkFreeFeasible(n, k int, eps float64) bool {
+	if k < 3 || eps <= 0 || eps >= 1.0/float64(k) {
+		return false
+	}
+	for q := 1; q*k <= n; q++ {
+		if float64(q) > eps*float64(n+q-1) {
+			return true
+		}
+	}
+	return false
+}
+
 // FarFromCkFree returns a connected graph that is provably eps-far from
 // Ck-free, together with the packing size q (number of pairwise edge-disjoint
 // planted k-cycles). The construction plants q vertex-disjoint k-cycles and

@@ -236,6 +236,36 @@ func TestFarFromCkFreeCertificate(t *testing.T) {
 	}
 }
 
+// TestFarFromCkFreeFeasibleAgreesWithGenerator sweeps a parameter grid and
+// checks the predicate against the generator's actual behavior: feasible
+// points must build, infeasible points must panic. Includes the exact
+// boundary n=20 k=3 eps=0.24, where q=6 satisfies the closed-form bound
+// q ≥ ⌈ε(n−1)/(1−ε)⌉ but not the generator's strict q > ε(n+q−1).
+func TestFarFromCkFreeFeasibleAgreesWithGenerator(t *testing.T) {
+	rng := xrand.New(12)
+	builds := func(n, k int, eps float64) (ok bool) {
+		defer func() { ok = recover() == nil }()
+		FarFromCkFree(n, k, eps, rng)
+		return true
+	}
+	if FarFromCkFreeFeasible(20, 3, 0.24) {
+		t.Fatal("n=20 k=3 eps=0.24 must be infeasible (strict-inequality boundary)")
+	}
+	for _, n := range []int{10, 20, 40, 90, 200} {
+		for _, k := range []int{3, 4, 5, 7, 9} {
+			for eps := 0.01; eps < 0.35; eps += 0.01 {
+				if eps >= 1.0/float64(k) {
+					continue // generator rejects the range outright
+				}
+				want := builds(n, k, eps)
+				if got := FarFromCkFreeFeasible(n, k, eps); got != want {
+					t.Fatalf("n=%d k=%d eps=%.2f: feasible=%v but generator builds=%v", n, k, eps, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestPlantedCycleContainsIt(t *testing.T) {
 	rng := xrand.New(11)
 	for trial := 0; trial < 20; trial++ {

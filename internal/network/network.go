@@ -1,0 +1,448 @@
+// Package network provides a reusable CONGEST network handle: the graph's
+// topology, per-node coin streams, payload tables, and a persistent
+// execution engine are compiled ONCE, and then many programs are executed
+// against the same network via RunProgram.
+//
+// The paper's tester is cheap per repetition — O(1/ε) rounds — so sweep
+// workloads (the E4/E11 harnesses, examples/sweep, cmd/sweep) are dominated
+// by re-building the same network hundreds of times when driven through
+// congest.Run. A Network amortizes every per-run allocation that
+// congest.Run pays: topology and ID validation, the BSP worker pool, the
+// flat payload tables, per-node RNG streams (reseeded in place per run),
+// the stats slabs, and — when the same Program value is run repeatedly and
+// its nodes implement congest.ReusableNode — the per-node program state
+// itself. In that steady state RunProgram performs zero heap allocations
+// per run on the BSP engine (locked by TestNetworkRunAllocFree) while
+// producing results byte-identical to congest.Run (locked by
+// TestRunProgramMatchesCongest).
+//
+// A Network is NOT safe for concurrent RunProgram calls; concurrent sweep
+// workloads give each worker its own Network (see internal/sweep).
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/xrand"
+)
+
+// Options fixes the per-network configuration. Everything that
+// congest.Config carries except the seed, which varies per run.
+type Options struct {
+	// Engine selects the execution engine; empty means congest.EngineBSP.
+	Engine congest.Engine
+	// IDs optionally assigns identifiers to vertices (see congest.Config).
+	IDs []congest.ID
+	// BandwidthBits, if positive, is a hard per-message budget in bits.
+	BandwidthBits int
+	// Workers caps the BSP worker pool (0 means GOMAXPROCS). Sweep
+	// schedulers that run many Networks concurrently set this low so the
+	// product of networks and workers matches the hardware.
+	Workers int
+}
+
+// Network is a compiled, reusable CONGEST network. Build it once with New,
+// run many programs with RunProgram, release the engine with Close.
+type Network struct {
+	g    *graph.Graph
+	opts Options
+	topo *congest.Topology
+	rngs []xrand.RNG // one persistent coin stream per vertex, reseeded per run
+
+	// Node cache: nodes built by the previous run, reusable when the same
+	// Program value is run again and every node implements ReusableNode.
+	nodes    []congest.Node
+	lastProg congest.Program
+	reusable bool
+
+	// Per-run state sized by the program's round count; rebuilt only when
+	// the round count changes between runs.
+	rounds    int
+	res       congest.Result
+	perWorker []congest.Stats // BSP: one per worker; channels: one per node
+
+	// BSP engine state.
+	pool                               *congest.WorkerPool
+	workers                            int
+	out, in                            [][][]byte
+	workErr                            []error
+	round                              int // current round, read by the phase closures
+	sendPhase, deliverPhase, recvPhase func(w, lo, hi int)
+	outputPhase                        func(w, lo, hi int)
+
+	// Channels engine state (persistent across runs; goroutines are per-run).
+	ch       [][]chan []byte
+	edgeBufs [][][2][]byte
+	errs     []error
+}
+
+// New compiles g into a reusable Network. The returned Network owns a
+// persistent worker pool (BSP engine, multi-core); call Close to release it.
+func New(g *graph.Graph, opts Options) (*Network, error) {
+	cfg := congest.Config{IDs: opts.IDs, BandwidthBits: opts.BandwidthBits}
+	topo, err := congest.BuildTopology(g, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{g: g, opts: opts, topo: topo, rounds: -1}
+	// BuildTopology materializes the default assignment when IDs is nil;
+	// keep the resolved slice so every run sees the same assignment.
+	nw.opts.IDs = topo.IDs()
+	n := g.N()
+	nw.rngs = make([]xrand.RNG, n)
+	nw.res.IDs = topo.IDs()
+	nw.res.Outputs = make([]any, n)
+
+	switch opts.Engine {
+	case congest.EngineBSP, "":
+		nw.buildBSP()
+	case congest.EngineChannels:
+		nw.buildChannels()
+	default:
+		return nil, fmt.Errorf("network: unknown engine %q", opts.Engine)
+	}
+	return nw, nil
+}
+
+// Graph returns the graph the network was compiled from.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Engine returns the engine the network executes on.
+func (nw *Network) Engine() congest.Engine {
+	if nw.opts.Engine == "" {
+		return congest.EngineBSP
+	}
+	return nw.opts.Engine
+}
+
+// Close releases the persistent worker pool. The Network must not be used
+// afterwards.
+func (nw *Network) Close() {
+	if nw.pool != nil {
+		nw.pool.Close()
+		nw.pool = nil
+	}
+}
+
+// buildBSP allocates the lockstep engine's reusable structures: flat payload
+// tables, the worker pool, and the phase closures (allocated once here; the
+// per-run loop only writes nw.round between barriers).
+func (nw *Network) buildBSP() {
+	g, n := nw.g, nw.g.N()
+	nw.out = make([][][]byte, n)
+	nw.in = make([][][]byte, n)
+	outFlat := make([][]byte, 2*g.M())
+	inFlat := make([][]byte, 2*g.M())
+	off := 0
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		nw.out[v] = outFlat[off : off+deg : off+deg]
+		nw.in[v] = inFlat[off : off+deg : off+deg]
+		off += deg
+	}
+
+	workers := nw.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nw.workers = workers
+	nw.workErr = make([]error, workers)
+	if workers > 1 {
+		nw.pool = congest.NewWorkerPool(workers, n)
+	}
+
+	nw.sendPhase = func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			clearPayloads(nw.out[v])
+			nw.nodes[v].Send(nw.round, nw.out[v])
+		}
+	}
+	// Delivery iterates by receiver so each worker writes only its own
+	// shard's in-tables; senders' out-tables are read-only during the phase.
+	nw.deliverPhase = func(w, lo, hi int) {
+		st := &nw.perWorker[w]
+		budget := nw.opts.BandwidthBits
+		for v := lo; v < hi; v++ {
+			ns := g.Neighbors(v)
+			rp := nw.topo.RevPorts(v)
+			for pt := range nw.in[v] {
+				u := int(ns[pt])
+				payload := nw.out[u][rp[pt]]
+				nw.in[v][pt] = payload
+				if payload == nil {
+					continue
+				}
+				bits := 8 * len(payload)
+				st.Observe(nw.round, bits)
+				if budget > 0 && bits > budget && nw.workErr[w] == nil {
+					ids := nw.topo.IDs()
+					nw.workErr[w] = &congest.ErrBandwidth{
+						Round: nw.round, From: ids[u], To: ids[v],
+						Bits: bits, BudgetBit: budget,
+					}
+				}
+			}
+		}
+	}
+	nw.recvPhase = func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nw.nodes[v].Receive(nw.round, nw.in[v])
+			clearPayloads(nw.in[v])
+		}
+	}
+	nw.outputPhase = func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nw.res.Outputs[v] = nw.nodes[v].Output()
+		}
+	}
+}
+
+// buildChannels allocates the α-synchronizer engine's persistent structures:
+// the per-directed-edge capacity-1 channels and double buffers, plus flat
+// per-node payload views. Node goroutines are spawned per run (they
+// terminate with the run), so the channels engine is not allocation-free
+// across runs — but a completed run always leaves every channel drained, so
+// the channel fabric itself is reusable.
+func (nw *Network) buildChannels() {
+	g, n := nw.g, nw.g.N()
+	nw.ch = make([][]chan []byte, n)
+	nw.edgeBufs = make([][][2][]byte, n)
+	nw.out = make([][][]byte, n)
+	nw.in = make([][][]byte, n)
+	outFlat := make([][]byte, 2*g.M())
+	inFlat := make([][]byte, 2*g.M())
+	off := 0
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		nw.ch[v] = make([]chan []byte, deg)
+		for pt := range nw.ch[v] {
+			nw.ch[v][pt] = make(chan []byte, 1)
+		}
+		nw.edgeBufs[v] = make([][2][]byte, deg)
+		nw.out[v] = outFlat[off : off+deg : off+deg]
+		nw.in[v] = inFlat[off : off+deg : off+deg]
+		off += deg
+	}
+	nw.errs = make([]error, n)
+}
+
+// prepare re-arms the per-run state: stats slabs sized to the program's
+// round count (reallocated only when the count changes), freshly seeded coin
+// streams, and cached-or-rebuilt nodes.
+func (nw *Network) prepare(p congest.Program, seed uint64) int {
+	n := nw.g.N()
+	rounds := p.Rounds(n, nw.g.M())
+	if rounds != nw.rounds {
+		nw.rounds = rounds
+		nw.res.Stats = congest.NewStats(rounds)
+		slab := nw.workers
+		if nw.Engine() == congest.EngineChannels {
+			slab = n
+		}
+		nw.perWorker = congest.NewStatsSlab(slab, rounds)
+	} else {
+		nw.res.Stats.Reset()
+		for i := range nw.perWorker {
+			nw.perWorker[i].Reset()
+		}
+	}
+
+	ids := nw.topo.IDs()
+	for v := 0; v < n; v++ {
+		nw.rngs[v].SeedStream(seed, uint64(ids[v]))
+	}
+	if sameProgram(p, nw.lastProg) && nw.reusable {
+		for v := 0; v < n; v++ {
+			nw.nodes[v].(congest.ReusableNode).Reset(nw.topo.Info(v, &nw.rngs[v]))
+		}
+		return rounds
+	}
+	if nw.nodes == nil {
+		nw.nodes = make([]congest.Node, n)
+	}
+	nw.reusable = true
+	for v := 0; v < n; v++ {
+		nw.nodes[v] = p.NewNode(nw.topo.Info(v, &nw.rngs[v]))
+		if _, ok := nw.nodes[v].(congest.ReusableNode); !ok {
+			nw.reusable = false
+		}
+	}
+	nw.lastProg = p
+	return rounds
+}
+
+// RunProgram executes p against the network with the given seed. Results
+// are byte-identical to congest.RunWith(engine, g, p, cfg) for the same
+// configuration and seed.
+//
+// The returned Result (including its Outputs and Stats slices) is owned by
+// the Network and is overwritten by the next RunProgram call; callers that
+// need it longer must copy what they keep. Passing the SAME Program value
+// on consecutive calls lets the Network reuse the per-node program state
+// when the nodes support it (congest.ReusableNode), which is what makes
+// repeated runs allocation-free on the BSP engine.
+func (nw *Network) RunProgram(p congest.Program, seed uint64) (*congest.Result, error) {
+	rounds := nw.prepare(p, seed)
+	if nw.Engine() == congest.EngineChannels {
+		return nw.runChannels(rounds)
+	}
+	return nw.runBSP(rounds)
+}
+
+func (nw *Network) runBSP(rounds int) (*congest.Result, error) {
+	n := nw.g.N()
+	for w := range nw.workErr {
+		nw.workErr[w] = nil
+	}
+	runPhase := func(fn func(w, lo, hi int)) {
+		if nw.pool == nil {
+			fn(0, 0, n)
+			return
+		}
+		nw.pool.Run(fn)
+	}
+	for nw.round = 1; nw.round <= rounds; nw.round++ {
+		runPhase(nw.sendPhase)
+		runPhase(nw.deliverPhase)
+		if nw.opts.BandwidthBits > 0 {
+			// Workers cover ascending vertex ranges, so the first error in
+			// worker order is the lowest-vertex violation — deterministic
+			// regardless of the worker count.
+			for _, e := range nw.workErr {
+				if e != nil {
+					// An aborted run leaves nodes mid-state; force a node
+					// rebuild on the next run.
+					nw.lastProg = nil
+					return nil, e
+				}
+			}
+		}
+		runPhase(nw.recvPhase)
+	}
+	runPhase(nw.outputPhase)
+	for w := range nw.perWorker {
+		nw.res.Stats.Merge(&nw.perWorker[w])
+	}
+	nw.res.Stats.Finalize()
+	return &nw.res, nil
+}
+
+// runChannels mirrors congest.RunChannels over the persistent channel
+// fabric: one goroutine per node per run, capacity-1 channels, per-edge
+// double buffers alternated by round parity. See that function for the
+// synchronization argument; the only difference here is that the channels,
+// buffers, stats and payload views outlive the run.
+func (nw *Network) runChannels(rounds int) (*congest.Result, error) {
+	g, n := nw.g, nw.g.N()
+	ids := nw.topo.IDs()
+	budget := nw.opts.BandwidthBits
+	for v := range nw.errs {
+		nw.errs[v] = nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			st := &nw.perWorker[v]
+			node := nw.nodes[v]
+			ns := g.Neighbors(v)
+			rp := nw.topo.RevPorts(v)
+			deg := len(ns)
+			out, in := nw.out[v], nw.in[v]
+			failed := false
+			safe := func(r int, what string, fn func()) {
+				if failed {
+					return
+				}
+				defer func() {
+					if p := recover(); p != nil {
+						failed = true
+						if nw.errs[v] == nil {
+							nw.errs[v] = fmt.Errorf("congest: node %d panicked in %s (round %d): %v",
+								ids[v], what, r, p)
+						}
+					}
+				}()
+				fn()
+			}
+			for r := 1; r <= rounds; r++ {
+				clearPayloads(out)
+				safe(r, "Send", func() { node.Send(r, out) })
+				if failed {
+					clearPayloads(out)
+				}
+				for pt := 0; pt < deg; pt++ {
+					payload := out[pt]
+					if payload != nil {
+						bits := 8 * len(payload)
+						st.Observe(r, bits)
+						if budget > 0 && bits > budget {
+							if nw.errs[v] == nil {
+								nw.errs[v] = &congest.ErrBandwidth{
+									Round: r, From: ids[v], To: ids[ns[pt]],
+									Bits: bits, BudgetBit: budget,
+								}
+							}
+							payload = nil
+						}
+					}
+					if payload != nil {
+						slot := &nw.edgeBufs[v][pt][r&1]
+						*slot = append((*slot)[:0], payload...)
+						payload = *slot
+					}
+					nw.ch[int(ns[pt])][rp[pt]] <- payload
+				}
+				for pt := 0; pt < deg; pt++ {
+					in[pt] = <-nw.ch[v][pt]
+				}
+				safe(r, "Receive", func() { node.Receive(r, in) })
+			}
+			safe(rounds, "Output", func() { nw.res.Outputs[v] = node.Output() })
+		}(v)
+	}
+	wg.Wait()
+
+	for v := 0; v < n; v++ {
+		if nw.errs[v] != nil {
+			// A failed run may leave nodes mid-state; force a rebuild next run.
+			nw.lastProg = nil
+			return nil, nw.errs[v]
+		}
+		nw.res.Stats.Merge(&nw.perWorker[v])
+	}
+	nw.res.Stats.Finalize()
+	return &nw.res, nil
+}
+
+// sameProgram reports whether two Program values are the same comparable
+// value (typically the same pointer). Non-comparable program types are never
+// considered equal rather than letting the == panic.
+func sameProgram(a, b congest.Program) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+func clearPayloads(ps [][]byte) {
+	for i := range ps {
+		ps[i] = nil
+	}
+}

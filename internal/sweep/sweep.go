@@ -1,0 +1,483 @@
+// Package sweep is a concurrent parameter-sweep scheduler over reusable
+// Networks: a declarative Spec (grids over graph family, k, ε, engine,
+// trials) is expanded into jobs, fanned across a sharded worker pool — each
+// worker owns its own pool of internal/network Networks, built once per
+// (graph, engine) and reused for every trial — and the per-job aggregates
+// are streamed incrementally, in job order, to CSV/JSON sinks.
+//
+// This is the workload the paper makes cheap: each trial costs O(1/ε)
+// CONGEST rounds (Theorem 1), so a sweep's cost is dominated by per-run
+// setup unless networks are reused. Streaming emission follows the
+// enumeration-complexity view (incremental time and delay, not batch
+// tables): a consumer sees job i's aggregate as soon as jobs 0..i are done,
+// while later jobs are still running.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
+	"cycledetect/internal/xrand"
+)
+
+// GraphSpec names one graph family instance of the grid.
+type GraphSpec struct {
+	// Family is one of "gnm" (connected G(n,m)), "far" (provably ε-far from
+	// Ck-free; depends on the job's k and ε), "tree" (random tree),
+	// "cycle" (C_n), or "complete" (K_n).
+	Family string `json:"family"`
+	// N is the vertex count.
+	N int `json:"n"`
+	// M is the edge count (gnm only; defaults to 4n).
+	M int `json:"m,omitempty"`
+}
+
+func (gs GraphSpec) String() string {
+	if gs.Family == "gnm" {
+		return fmt.Sprintf("%s(n=%d,m=%d)", gs.Family, gs.N, gs.M)
+	}
+	return fmt.Sprintf("%s(n=%d)", gs.Family, gs.N)
+}
+
+// Spec is a declarative sweep: the cross product of Graphs × K × Eps ×
+// Engines, with Trials independently seeded tester runs per combination.
+type Spec struct {
+	// Name labels the sweep in logs and summaries.
+	Name string `json:"name,omitempty"`
+	// Graphs, K, Eps and Engines span the grid. Engines defaults to
+	// ["bsp"]. Combinations that are not runnable (ε ≥ 1/k for the "far"
+	// family, whose construction needs ε < 1/k) are skipped, not errors.
+	Graphs  []GraphSpec `json:"graphs"`
+	K       []int       `json:"k"`
+	Eps     []float64   `json:"eps"`
+	Engines []string    `json:"engines,omitempty"`
+	// Trials is the number of independently seeded runs per job.
+	Trials int `json:"trials"`
+	// Reps, when positive, overrides the ⌈(e²/ε)ln3⌉ repetition count of
+	// every run (expert use: per-repetition measurements).
+	Reps int `json:"reps,omitempty"`
+	// Seed makes the whole sweep deterministic: graph construction and
+	// every trial's coin streams derive from it.
+	Seed uint64 `json:"seed,omitempty"`
+	// BandwidthBits, when positive, enforces the hard per-message budget.
+	BandwidthBits int `json:"bandwidth_bits,omitempty"`
+	// Workers is the scheduler's worker count (0 means GOMAXPROCS). Each
+	// worker owns its Networks; the per-network BSP pool is sized so that
+	// workers × pool ≈ GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Job is one grid point.
+type Job struct {
+	// Index is the job's position in expansion order (Graphs × K × Eps ×
+	// Engines, innermost last); results are emitted in this order.
+	Index int `json:"index"`
+	// SeedKey identifies the engine-independent (graph, k, eps) grid point;
+	// trial seeds derive from it, so engine variants of the same point run
+	// on identical coin streams and must produce identical decisions.
+	SeedKey int            `json:"seed_key"`
+	Graph   GraphSpec      `json:"graph"`
+	K       int            `json:"k"`
+	Eps     float64        `json:"eps"`
+	Engine  congest.Engine `json:"engine"`
+}
+
+// Result aggregates one job's trials.
+type Result struct {
+	Job
+	// N and M are the built graph's dimensions.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Reps and Rounds are per-trial (identical across trials of a job).
+	Reps   int `json:"reps"`
+	Rounds int `json:"rounds"`
+	// Trials ran, Rejects among them.
+	Trials  int `json:"trials"`
+	Rejects int `json:"rejects"`
+	// RejectRate is Rejects/Trials.
+	RejectRate float64 `json:"reject_rate"`
+	// AvgMessages and AvgBits are per-trial means of total traffic.
+	AvgMessages float64 `json:"avg_messages"`
+	AvgBits     float64 `json:"avg_bits"`
+	// MaxMessageBits is the largest single message over all trials — the
+	// O(log n) CONGEST quantity.
+	MaxMessageBits int `json:"max_message_bits"`
+	// MaxSeqs is the largest sequence count in one message (Lemma 3).
+	MaxSeqs int `json:"max_seqs"`
+	// Elapsed is the wall time the job's trials took on its worker.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Summary reports a completed sweep.
+type Summary struct {
+	Name    string
+	Jobs    int
+	Skipped int // grid points skipped as not runnable
+	Trials  int
+	Elapsed time.Duration
+}
+
+// Sink consumes results incrementally, in job order.
+type Sink interface {
+	Write(r *Result) error
+	Flush() error
+}
+
+// Validate checks the spec and fills defaults in place.
+func (s *Spec) Validate() error {
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("sweep: no graphs in spec")
+	}
+	for _, gs := range s.Graphs {
+		switch gs.Family {
+		case "gnm", "far", "tree", "cycle", "complete":
+		default:
+			return fmt.Errorf("sweep: unknown graph family %q", gs.Family)
+		}
+		if gs.N < 2 {
+			return fmt.Errorf("sweep: graph %s needs n >= 2", gs)
+		}
+	}
+	if len(s.K) == 0 {
+		return fmt.Errorf("sweep: no k values in spec")
+	}
+	for _, k := range s.K {
+		if k < 3 {
+			return fmt.Errorf("sweep: k must be at least 3, got %d", k)
+		}
+	}
+	if len(s.Eps) == 0 {
+		return fmt.Errorf("sweep: no eps values in spec")
+	}
+	for _, e := range s.Eps {
+		if e <= 0 || e >= 1 {
+			return fmt.Errorf("sweep: eps %v outside (0,1)", e)
+		}
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []string{string(congest.EngineBSP)}
+	}
+	for _, e := range s.Engines {
+		switch congest.Engine(e) {
+		case congest.EngineBSP, congest.EngineChannels:
+		default:
+			return fmt.Errorf("sweep: unknown engine %q", e)
+		}
+	}
+	if s.Trials <= 0 {
+		return fmt.Errorf("sweep: trials must be positive, got %d", s.Trials)
+	}
+	if s.Reps < 0 {
+		return fmt.Errorf("sweep: negative reps %d", s.Reps)
+	}
+	return nil
+}
+
+// Jobs expands the grid into runnable jobs, in deterministic order, and
+// reports how many grid points were skipped as not runnable.
+func (s *Spec) Jobs() (jobs []Job, skipped int) {
+	idx, combo := 0, 0
+	for _, gs := range s.Graphs {
+		for _, k := range s.K {
+			for _, eps := range s.Eps {
+				combo++
+				// Runnability is engine-independent, so a non-runnable
+				// point counts as ONE skipped grid point however many
+				// engines the spec crosses it with.
+				if !runnable(gs, k, eps) {
+					skipped++
+					continue
+				}
+				for _, eng := range s.Engines {
+					jobs = append(jobs, Job{
+						Index: idx, SeedKey: combo, Graph: gs, K: k, Eps: eps,
+						Engine: congest.Engine(eng),
+					})
+					idx++
+				}
+			}
+		}
+	}
+	return jobs, skipped
+}
+
+// runnable filters grid points whose graph cannot be constructed: the
+// ε-far family's feasibility rule lives next to its generator
+// (graph.FarFromCkFreeFeasible, replaying the generator's own packing
+// search — a closed-form approximation here disagreed at exact boundaries).
+// buildGraph's panic-to-error conversion remains the backstop.
+func runnable(gs GraphSpec, k int, eps float64) bool {
+	if gs.Family != "far" {
+		return true
+	}
+	return graph.FarFromCkFreeFeasible(gs.N, k, eps)
+}
+
+// graphKey identifies a built graph. Only the "far" family depends on the
+// job's (k, ε); every other family is shared across the whole grid.
+type graphKey struct {
+	gs  GraphSpec
+	k   int
+	eps float64
+}
+
+func keyFor(j Job) graphKey {
+	if j.Graph.Family == "far" {
+		return graphKey{gs: j.Graph, k: j.K, eps: j.Eps}
+	}
+	return graphKey{gs: j.Graph}
+}
+
+// buildGraph constructs the graph for a key, deterministically from the
+// sweep seed. Generator panics (infeasible parameters) are converted to
+// errors so a bad spec fails the sweep instead of crashing the process.
+func buildGraph(key graphKey, seed uint64) (g *graph.Graph, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: building %s: %v", key.gs, p)
+		}
+	}()
+	rng := xrand.New(xrand.Mix64(seed ^ 0x67726170685f6765)) // "graph_ge" salt: decouple from trial seeds
+	switch key.gs.Family {
+	case "gnm":
+		m := key.gs.M
+		if m <= 0 {
+			m = 4 * key.gs.N
+		}
+		return graph.ConnectedGNM(key.gs.N, m, rng), nil
+	case "far":
+		g, _ := graph.FarFromCkFree(key.gs.N, key.k, key.eps, rng)
+		return g, nil
+	case "tree":
+		return graph.RandomTree(key.gs.N, rng), nil
+	case "cycle":
+		return graph.Cycle(key.gs.N), nil
+	case "complete":
+		return graph.Complete(key.gs.N), nil
+	}
+	return nil, fmt.Errorf("sweep: unknown graph family %q", key.gs.Family)
+}
+
+// trialSeed derives the coin-stream seed of one trial. It depends only on
+// the spec seed, the job index, and the trial index, so results are
+// independent of worker scheduling.
+func trialSeed(base uint64, job, trial int) uint64 {
+	return xrand.Mix64(xrand.Mix64(base+0x9e3779b97f4a7c15*uint64(job+1)) + uint64(trial))
+}
+
+// Run executes the sweep and streams per-job results to the sinks in job
+// order. It returns the first error encountered (spec validation, graph
+// construction, simulation, or sink I/O); on error, results already emitted
+// remain written.
+func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, skipped := spec.Jobs()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sweep: grid is empty after skipping %d non-runnable points", skipped)
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	// Split the cores between scheduler workers and each network's BSP
+	// pool, so total parallelism tracks the hardware.
+	nwWorkers := runtime.GOMAXPROCS(0) / workers
+	if nwWorkers < 1 {
+		nwWorkers = 1
+	}
+
+	// Graphs are immutable and shared across workers; build each key once.
+	// The map mutex is held only for entry lookup — construction itself runs
+	// under a per-key Once, so distinct graphs build concurrently.
+	type graphEntry struct {
+		once sync.Once
+		g    *graph.Graph
+		err  error
+	}
+	var (
+		graphMu sync.Mutex
+		graphs  = map[graphKey]*graphEntry{}
+	)
+	getGraph := func(key graphKey) (*graph.Graph, error) {
+		graphMu.Lock()
+		e, ok := graphs[key]
+		if !ok {
+			e = &graphEntry{}
+			graphs[key] = e
+		}
+		graphMu.Unlock()
+		e.once.Do(func() { e.g, e.err = buildGraph(key, spec.Seed) })
+		return e.g, e.err
+	}
+
+	var (
+		failOnce sync.Once
+		firstErr error
+		cancel   = make(chan struct{})
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(cancel)
+		})
+	}
+
+	jobCh := make(chan Job)
+	resCh := make(chan Result, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker(spec, nwWorkers, getGraph, jobCh, resCh, cancel, fail)
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-cancel:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Reorder buffer: emit results to the sinks in job-index order as soon
+	// as every earlier job has completed.
+	pending := map[int]Result{}
+	next := 0
+	trials := 0
+	for r := range resCh {
+		pending[r.Index] = r
+		for {
+			rr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			trials += rr.Trials
+			for _, s := range sinks {
+				if err := s.Write(&rr); err != nil {
+					fail(fmt.Errorf("sweep: sink: %w", err))
+					break
+				}
+			}
+		}
+	}
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil {
+			fail(fmt.Errorf("sweep: sink flush: %w", err))
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Summary{
+		Name: spec.Name, Jobs: len(jobs), Skipped: skipped,
+		Trials: trials, Elapsed: time.Since(start),
+	}, nil
+}
+
+// worker drains jobs, reusing one Network per (graph, engine) across every
+// job and trial routed to it. Networks are worker-private (RunProgram is
+// not concurrency-safe) and closed when the worker exits.
+func worker(spec *Spec, nwWorkers int,
+	getGraph func(graphKey) (*graph.Graph, error),
+	jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{}, fail func(error)) {
+
+	type netKey struct {
+		gk     graphKey
+		engine congest.Engine
+	}
+	nets := map[netKey]*network.Network{}
+	defer func() {
+		for _, nw := range nets {
+			nw.Close()
+		}
+	}()
+
+	for job := range jobCh {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		gk := keyFor(job)
+		g, err := getGraph(gk)
+		if err != nil {
+			fail(err)
+			return
+		}
+		nk := netKey{gk: gk, engine: job.Engine}
+		nw, ok := nets[nk]
+		if !ok {
+			nw, err = network.New(g, network.Options{
+				Engine:        job.Engine,
+				BandwidthBits: spec.BandwidthBits,
+				Workers:       nwWorkers,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			nets[nk] = nw
+		}
+
+		// One Program value for all trials: with congest.ReusableNode
+		// support the Network re-binds the cached per-node state instead of
+		// rebuilding it, making steady-state trials allocation-free.
+		prog := &core.Tester{K: job.K, Eps: job.Eps, Reps: spec.Reps}
+		r := Result{Job: job, N: g.N(), M: g.M(), Trials: spec.Trials, Reps: prog.Repetitions()}
+		jobStart := time.Now()
+		var sumMsgs, sumBits int64
+		for t := 0; t < spec.Trials; t++ {
+			res, err := nw.RunProgram(prog, trialSeed(spec.Seed, job.SeedKey, t))
+			if err != nil {
+				fail(fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s) trial %d: %w",
+					job.Index, job.Graph, job.K, job.Eps, job.Engine, t, err))
+				return
+			}
+			dec := core.Summarize(res.Outputs, res.IDs)
+			if dec.Reject {
+				r.Rejects++
+			}
+			if dec.MaxSeqs > r.MaxSeqs {
+				r.MaxSeqs = dec.MaxSeqs
+			}
+			r.Rounds = res.Stats.Rounds
+			sumMsgs += res.Stats.MessagesSent
+			sumBits += res.Stats.TotalBits
+			if res.Stats.MaxMessageBits > r.MaxMessageBits {
+				r.MaxMessageBits = res.Stats.MaxMessageBits
+			}
+		}
+		r.RejectRate = float64(r.Rejects) / float64(r.Trials)
+		r.AvgMessages = float64(sumMsgs) / float64(r.Trials)
+		r.AvgBits = float64(sumBits) / float64(r.Trials)
+		r.Elapsed = time.Since(jobStart)
+		select {
+		case resCh <- r:
+		case <-cancel:
+			return
+		}
+	}
+}

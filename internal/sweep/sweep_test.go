@@ -1,0 +1,256 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+)
+
+func demoSpec() *Spec {
+	return &Spec{
+		Name: "test",
+		Graphs: []GraphSpec{
+			{Family: "far", N: 40},
+			{Family: "gnm", N: 32, M: 96},
+		},
+		K:       []int{3, 5},
+		Eps:     []float64{0.25, 0.1},
+		Engines: []string{"bsp"},
+		Trials:  4,
+		Seed:    7,
+	}
+}
+
+func collect(t *testing.T, spec *Spec) []Result {
+	t.Helper()
+	var out []Result
+	sum, err := Run(spec, FuncSink(func(r *Result) error {
+		out = append(out, *r)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != len(out) {
+		t.Fatalf("summary reports %d jobs, sink saw %d", sum.Jobs, len(out))
+	}
+	return out
+}
+
+// TestSweepDeterministic: two runs of the same spec produce identical
+// results (modulo wall time), independent of worker scheduling.
+func TestSweepDeterministic(t *testing.T) {
+	a := collect(t, demoSpec())
+	one := demoSpec()
+	one.Workers = 1
+	b := collect(t, one)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Elapsed, y.Elapsed = 0, 0
+		if !reflect.DeepEqual(x, y) {
+			t.Fatalf("job %d differs between runs:\n %+v\n %+v", i, x, y)
+		}
+	}
+}
+
+// TestSweepOrderAndSkip: results arrive in job-index order and the
+// non-runnable grid points of the "far" family are skipped, not run:
+// k=5 eps=0.25 violates ε < 1/k, and k=3 eps=0.25 needs q=14 planted
+// triangles (42 vertices) which do not fit in n=40.
+func TestSweepOrderAndSkip(t *testing.T) {
+	spec := demoSpec()
+	var sum *Summary
+	var out []Result
+	var err error
+	sum, err = Run(spec, FuncSink(func(r *Result) error {
+		out = append(out, *r)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 2 {
+		t.Fatalf("want 2 skipped grid points (far k=5 eps=0.25; far k=3 eps=0.25), got %d", sum.Skipped)
+	}
+	for i, r := range out {
+		if r.Index != i {
+			t.Fatalf("result %d has job index %d; streaming must be in job order", i, r.Index)
+		}
+	}
+	// Runnability is engine-independent: crossing the grid with a second
+	// engine must not double the skip count.
+	two := demoSpec()
+	two.Engines = []string{"bsp", "channels"}
+	if _, skipped := two.Jobs(); skipped != 2 {
+		t.Fatalf("want 2 skipped grid points with two engines, got %d", skipped)
+	}
+	// Exact feasibility boundary (generator needs strict q > ε·m): the
+	// point must be SKIPPED by the feasibility filter, never reach the
+	// generator's panic and abort the sweep.
+	bnd := &Spec{Graphs: []GraphSpec{{Family: "far", N: 20}}, K: []int{3}, Eps: []float64{0.24}, Trials: 1}
+	if err := bnd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, skipped := bnd.Jobs()
+	if len(jobs) != 0 || skipped != 1 {
+		t.Fatalf("boundary point: want 0 jobs / 1 skipped, got %d / %d", len(jobs), skipped)
+	}
+}
+
+// TestSweepMatchesDirectRuns: the scheduler's aggregates — through network
+// reuse, node caching, and worker sharding — equal per-trial fresh
+// congest.Run executions summed by hand.
+func TestSweepMatchesDirectRuns(t *testing.T) {
+	spec := demoSpec()
+	jobs, _ := spec.Jobs()
+	results := collect(t, spec)
+	for i, job := range jobs {
+		g, err := buildGraph(keyFor(job), spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejects := 0
+		var msgs int64
+		for tr := 0; tr < spec.Trials; tr++ {
+			prog := &core.Tester{K: job.K, Eps: job.Eps}
+			res, err := congest.RunWith(job.Engine, g, prog, congest.Config{
+				Seed: trialSeed(spec.Seed, job.SeedKey, tr),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if core.Summarize(res.Outputs, res.IDs).Reject {
+				rejects++
+			}
+			msgs += res.Stats.MessagesSent
+		}
+		got := results[i]
+		if got.Rejects != rejects {
+			t.Fatalf("job %d: scheduler counted %d rejects, direct runs %d", i, got.Rejects, rejects)
+		}
+		if want := float64(msgs) / float64(spec.Trials); got.AvgMessages != want {
+			t.Fatalf("job %d: avg messages %v, want %v", i, got.AvgMessages, want)
+		}
+	}
+}
+
+// TestSweepDetectionHolds: on ε-far instances the amplified tester must
+// reject in at least 2/3 of trials — the sweep is a reproduction tool, so
+// its output must exhibit Theorem 1.
+func TestSweepDetectionHolds(t *testing.T) {
+	spec := &Spec{
+		Graphs: []GraphSpec{{Family: "far", N: 60}},
+		K:      []int{3, 5},
+		Eps:    []float64{0.08},
+		Trials: 12,
+		Seed:   3,
+	}
+	for _, r := range collect(t, spec) {
+		if r.RejectRate < 2.0/3.0 {
+			t.Fatalf("job %d (k=%d eps=%g): reject rate %.2f below 2/3", r.Index, r.K, r.Eps, r.RejectRate)
+		}
+	}
+}
+
+// TestSweepEngineGrid runs both engines through the scheduler and demands
+// identical decisions (the engines are semantically equivalent).
+func TestSweepEngineGrid(t *testing.T) {
+	spec := &Spec{
+		Graphs:  []GraphSpec{{Family: "gnm", N: 24, M: 72}},
+		K:       []int{5},
+		Eps:     []float64{0.15},
+		Engines: []string{"bsp", "channels"},
+		Trials:  3,
+		Seed:    5,
+	}
+	out := collect(t, spec)
+	if len(out) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(out))
+	}
+	a, b := out[0], out[1]
+	if a.Rejects != b.Rejects || a.AvgMessages != b.AvgMessages || a.AvgBits != b.AvgBits {
+		t.Fatalf("engines disagree:\n bsp      %+v\n channels %+v", a, b)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no graphs", func(s *Spec) { s.Graphs = nil }, "no graphs"},
+		{"bad family", func(s *Spec) { s.Graphs[0].Family = "petersen" }, "unknown graph family"},
+		{"tiny n", func(s *Spec) { s.Graphs[0].N = 1 }, "n >= 2"},
+		{"no k", func(s *Spec) { s.K = nil }, "no k values"},
+		{"k too small", func(s *Spec) { s.K = []int{2} }, "k must be at least 3"},
+		{"no eps", func(s *Spec) { s.Eps = nil }, "no eps"},
+		{"eps range", func(s *Spec) { s.Eps = []float64{1.5} }, "outside (0,1)"},
+		{"bad engine", func(s *Spec) { s.Engines = []string{"quantum"} }, "unknown engine"},
+		{"no trials", func(s *Spec) { s.Trials = 0 }, "trials must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := demoSpec()
+			tc.mut(spec)
+			_, err := Run(spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestCSVSinkShape checks the streaming CSV layout and its determinism
+// with the elapsed column disabled.
+func TestCSVSinkShape(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		sink := NewCSVSink(&buf)
+		sink.Elapsed = false
+		spec := demoSpec()
+		if _, err := Run(spec, sink); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "family,n,m,k,eps,engine,trials,reps,rounds,rejects,reject_rate") {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+	spec := demoSpec()
+	jobs, _ := spec.Jobs()
+	if len(lines) != 1+len(jobs) {
+		t.Fatalf("want %d rows after the header, got %d", len(jobs), len(lines)-1)
+	}
+	if again := render(); again != out {
+		t.Fatal("CSV output not deterministic across runs")
+	}
+}
+
+// TestJSONSinkLines checks one valid JSON object per result.
+func TestJSONSinkLines(t *testing.T) {
+	var buf bytes.Buffer
+	spec := demoSpec()
+	if _, err := Run(spec, NewJSONSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	jobs, _ := spec.Jobs()
+	if len(lines) != len(jobs) {
+		t.Fatalf("want %d JSON lines, got %d", len(jobs), len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "{") || !strings.Contains(ln, "\"reject_rate\"") {
+			t.Fatalf("bad JSON line: %s", ln)
+		}
+	}
+}

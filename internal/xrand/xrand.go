@@ -55,21 +55,39 @@ type RNG struct {
 // New returns an RNG seeded from seed using SplitMix64, following the PCG
 // reference seeding procedure.
 func New(seed uint64) *RNG {
-	sm := NewSplitMix64(seed)
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes r in place; afterwards r produces exactly the stream of
+// New(seed). It allocates nothing, so long-lived simulations can reuse one
+// RNG value per node across many runs (see internal/network).
+func (r *RNG) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	r.state = 0
 	r.inc = (sm.Uint64() << 1) | 1
 	r.Uint32()
 	r.state += sm.Uint64()
 	r.Uint32()
-	return r
+}
+
+// streamSeed derives the scalar seed of the (seed, stream) coin stream.
+func streamSeed(seed, stream uint64) uint64 {
+	return Mix64(seed) ^ Mix64(stream*0x9e3779b97f4a7c15+0x632be59bd9b4e019)
 }
 
 // Stream returns an RNG deterministically derived from (seed, stream). Two
 // distinct stream indices yield statistically independent generators, which
 // is how the simulator gives every node its own private coins.
 func Stream(seed, stream uint64) *RNG {
-	return New(Mix64(seed) ^ Mix64(stream*0x9e3779b97f4a7c15+0x632be59bd9b4e019))
+	return New(streamSeed(seed, stream))
+}
+
+// SeedStream reinitializes r in place to the exact stream that
+// Stream(seed, stream) returns, without allocating.
+func (r *RNG) SeedStream(seed, stream uint64) {
+	r.Seed(streamSeed(seed, stream))
 }
 
 // Split derives a fresh, independent RNG from r, advancing r.
