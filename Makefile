@@ -5,9 +5,15 @@
 # engines, network reuse) and the micro-benchmarks behind it. The experiment
 # benchmarks (E1-E12) are reproduction runs, not perf-tracking targets.
 BENCH ?= TesterByK|EnginesCompare|NetworkReuse|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
-SNAPSHOT ?= BENCH_2.json
+SNAPSHOT ?= BENCH_3.json
 
-.PHONY: all build test race vet fmt bench bench-compare check
+# Maximum tolerated allocs/op regression (percent) between the two latest
+# committed snapshots; `make bench-gate` (a blocking CI step) fails beyond
+# it. Allocation counts are deterministic enough to gate on; ns/op is not
+# and stays informational.
+ALLOCS_REGRESS_BUDGET ?= 10
+
+.PHONY: all build test race vet fmt bench bench-compare bench-gate check
 
 all: check
 
@@ -37,6 +43,12 @@ bench:
 
 # bench-compare diffs the two latest committed BENCH_*.json snapshots and
 # prints per-benchmark ns/op and allocs/op deltas. Reporting only — it never
-# fails the build (CI runs it as a non-blocking step).
+# fails the build.
 bench-compare:
 	go run ./cmd/benchdiff
+
+# bench-gate is the blocking flavor: same report, but any benchmark whose
+# allocs/op regressed more than $(ALLOCS_REGRESS_BUDGET)% between the two
+# latest snapshots fails the target (and CI). ns/op deltas never gate.
+bench-gate:
+	go run ./cmd/benchdiff -max-allocs-regress $(ALLOCS_REGRESS_BUDGET)

@@ -88,60 +88,71 @@ func BenchmarkEnginesCompare(b *testing.B) {
 // BenchmarkNetworkReuse is the sweep-workload benchmark behind the
 // internal/network subsystem: 100 single-repetition tester runs (different
 // seeds) on one 256-node G(n,4n) graph, executed the pre-PR way — a fresh
-// congest.Run per repetition, paying topology, engine, node and RNG setup
-// every time — versus on one reused Network with a cached Program. Both
-// paths are verified to produce identical decisions and stats before
-// timing. The reused path must be ≥5× cheaper in allocs/op (it is ~0 per
-// repetition in steady state; see TestNetworkRunAllocFree).
+// congest.RunWith per repetition, paying topology, engine, node and RNG
+// setup every time — versus on one reused Network with a cached Program, on
+// both engines. ("fresh"/"reused" are the BSP variants, keeping the
+// snapshot trajectory from BENCH_2.json; "fresh-channels"/"reused-channels"
+// additionally pay, or amortize, the channel fabric and the per-node
+// goroutines, which park between runs on a reused Network.) Both paths are
+// verified to produce identical decisions and stats before timing. The
+// reused paths must be ≥5× cheaper in allocs/op (they are ~0 per repetition
+// in steady state; see TestNetworkRunAllocFree).
 func BenchmarkNetworkReuse(b *testing.B) {
 	rng := xrand.New(10)
 	g := graph.ConnectedGNM(256, 1024, rng)
 	const reps = 100
 	const k = 7
 
-	// Cross-check: every seed's decision and stats must match between the
-	// fresh-run and reused-network paths.
-	nw, err := network.New(g, network.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer nw.Close()
-	checkProg := &core.Tester{K: k, Reps: 1}
-	for s := uint64(0); s < reps; s++ {
-		want, err := congest.Run(g, &core.Tester{K: k, Reps: 1}, congest.Config{Seed: s})
+	for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
+		suffix := ""
+		if engine == congest.EngineChannels {
+			suffix = "-" + string(engine)
+		}
+		nw, err := network.New(g, network.Options{Engine: engine})
 		if err != nil {
 			b.Fatal(err)
 		}
-		got, err := nw.RunProgram(checkProg, s)
-		if err != nil {
-			b.Fatal(err)
-		}
-		wd, gd := core.Summarize(want.Outputs, want.IDs), core.Summarize(got.Outputs, got.IDs)
-		if wd.Reject != gd.Reject || !reflect.DeepEqual(want.Stats, got.Stats) {
-			b.Fatalf("seed %d: reused network diverged from congest.Run", s)
-		}
-	}
+		defer nw.Close()
 
-	b.Run("fresh", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for s := uint64(0); s < reps; s++ {
-				prog := &core.Tester{K: k, Reps: 1}
-				if _, err := congest.Run(g, prog, congest.Config{Seed: s}); err != nil {
-					b.Fatal(err)
-				}
+		// Cross-check: every seed's decision and stats must match between
+		// the fresh-run and reused-network paths.
+		checkProg := &core.Tester{K: k, Reps: 1}
+		for s := uint64(0); s < reps; s++ {
+			want, err := congest.RunWith(engine, g, &core.Tester{K: k, Reps: 1}, congest.Config{Seed: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := nw.RunProgram(checkProg, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wd, gd := core.Summarize(want.Outputs, want.IDs), core.Summarize(got.Outputs, got.IDs)
+			if wd.Reject != gd.Reject || !reflect.DeepEqual(want.Stats, got.Stats) {
+				b.Fatalf("%s seed %d: reused network diverged from congest.RunWith", engine, s)
 			}
 		}
-	})
-	b.Run("reused", func(b *testing.B) {
-		prog := &core.Tester{K: k, Reps: 1}
-		for i := 0; i < b.N; i++ {
-			for s := uint64(0); s < reps; s++ {
-				if _, err := nw.RunProgram(prog, s); err != nil {
-					b.Fatal(err)
+
+		b.Run("fresh"+suffix, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for s := uint64(0); s < reps; s++ {
+					prog := &core.Tester{K: k, Reps: 1}
+					if _, err := congest.RunWith(engine, g, prog, congest.Config{Seed: s}); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-	})
+		})
+		b.Run("reused"+suffix, func(b *testing.B) {
+			prog := &core.Tester{K: k, Reps: 1}
+			for i := 0; i < b.N; i++ {
+				for s := uint64(0); s < reps; s++ {
+					if _, err := nw.RunProgram(prog, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPruning measures the representative-selection hot path at the

@@ -8,14 +8,24 @@
 //	benchdiff OLD.json NEW.json     # explicit snapshots
 //
 // Benchmarks present in only one snapshot are listed as added/removed.
-// The exit code is always 0 when the inputs parse — the tool reports, it
-// does not gate (CI runs it as a non-blocking step).
+//
+// By default the exit code is 0 whenever the inputs parse — the tool
+// reports. With -max-allocs-regress=P (a percentage), allocs/op becomes a
+// gate: any benchmark present in both snapshots whose allocs/op grew by
+// more than P% fails the run with exit code 1. ns/op deltas are always
+// informational — wall time is machine-noisy, allocation counts are not,
+// so CI blocks on the latter only:
+//
+//	benchdiff -max-allocs-regress 5
+//
+// Benchmarks added or removed between snapshots are never gated.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -37,6 +47,8 @@ var snapPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
 func main() {
 	dir := flag.String("dir", ".", "directory to scan for BENCH_<i>.json when no files are given")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", -1,
+		"fail (exit 1) if any benchmark's allocs/op regresses by more than this percentage; negative disables the gate")
 	flag.Parse()
 
 	var oldPath, newPath string
@@ -78,6 +90,7 @@ func main() {
 
 	fmt.Printf("benchdiff: %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
 	fmt.Printf("%-55s %15s %11s %15s %11s\n", "benchmark", "ns/op", "Δ", "allocs/op", "Δ")
+	var gateFailures []string
 	for _, n := range sorted {
 		o, haveOld := oldSnap.Benchmarks[n]
 		w, haveNew := newSnap.Benchmarks[n]
@@ -92,8 +105,34 @@ func main() {
 			fmt.Printf("%-55s %15s %11s %15s %11s\n", n,
 				arrow(o.NsPerOp, w.NsPerOp), delta(o.NsPerOp, w.NsPerOp),
 				arrow(o.AllocsPerOp, w.AllocsPerOp), delta(o.AllocsPerOp, w.AllocsPerOp))
+			if *maxAllocsRegress >= 0 && allocsRegress(o.AllocsPerOp, w.AllocsPerOp) > *maxAllocsRegress {
+				gateFailures = append(gateFailures, fmt.Sprintf(
+					"%s: allocs/op %s (%s), budget %+.1f%%",
+					n, arrow(o.AllocsPerOp, w.AllocsPerOp),
+					delta(o.AllocsPerOp, w.AllocsPerOp), *maxAllocsRegress))
+			}
 		}
 	}
+	if len(gateFailures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: allocs/op gate FAILED (%d benchmark(s) over the %+.1f%% budget):\n",
+			len(gateFailures), *maxAllocsRegress)
+		for _, f := range gateFailures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+}
+
+// allocsRegress is the relative allocs/op growth in percent; going from 0
+// to any positive count is an unbounded regression.
+func allocsRegress(o, n float64) float64 {
+	if n <= o {
+		return 0
+	}
+	if o == 0 {
+		return math.Inf(1)
+	}
+	return 100 * (n - o) / o
 }
 
 // latestTwo picks the two highest-numbered BENCH_<i>.json files in dir.

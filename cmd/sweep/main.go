@@ -3,6 +3,11 @@
 // jobs across a worker pool of reusable networks, and streams per-job
 // aggregates incrementally to stdout (or a file) as CSV or JSON lines.
 //
+// Streaming guarantee: job i's row is written AND flushed to the output as
+// soon as jobs 0..i have finished, while later jobs are still running — a
+// consumer tailing the output (or piping it) sees results with incremental
+// delay, never batched at sweep end.
+//
 //	sweep -spec spec.json                 # CSV to stdout, streamed in job order
 //	sweep -spec spec.json -format json    # JSON lines instead
 //	sweep -spec spec.json -o out.csv      # write to a file

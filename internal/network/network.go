@@ -1,20 +1,33 @@
-// Package network provides a reusable CONGEST network handle: the graph's
-// topology, per-node coin streams, payload tables, and a persistent
-// execution engine are compiled ONCE, and then many programs are executed
-// against the same network via RunProgram.
+// Package network is the home of the CONGEST simulator's execution
+// engines. A reusable Network handle compiles a graph's topology, per-node
+// coin streams, payload tables, and a persistent execution engine ONCE,
+// and then many programs are executed against the same network via
+// RunProgram. The one-shot entry points in internal/congest (Run,
+// RunChannels, RunWith) are thin wrappers over New + RunProgram, so each
+// engine loop — including bandwidth accounting, panic isolation, and error
+// selection — exists exactly once, here.
 //
 // The paper's tester is cheap per repetition — O(1/ε) rounds — so sweep
 // workloads (the E4/E11 harnesses, examples/sweep, cmd/sweep) are dominated
 // by re-building the same network hundreds of times when driven through
 // congest.Run. A Network amortizes every per-run allocation that
-// congest.Run pays: topology and ID validation, the BSP worker pool, the
-// flat payload tables, per-node RNG streams (reseeded in place per run),
-// the stats slabs, and — when the same Program value is run repeatedly and
-// its nodes implement congest.ReusableNode — the per-node program state
-// itself. In that steady state RunProgram performs zero heap allocations
-// per run on the BSP engine (locked by TestNetworkRunAllocFree) while
-// producing results byte-identical to congest.Run (locked by
-// TestRunProgramMatchesCongest).
+// congest.Run pays: topology and ID validation, the flat payload tables,
+// per-node RNG streams (reseeded in place per run), the stats slabs, the
+// engine itself — the BSP worker pool or the channels engine's per-node
+// goroutines, which park between runs — and, when the same Program value is
+// run repeatedly and its nodes implement ReusableNode, the per-node program
+// state. In that steady state RunProgram performs zero heap allocations per
+// run and spawns zero goroutines on BOTH engines (locked by
+// TestNetworkRunAllocFree) while producing results byte-identical across
+// engines and entry points (locked by TestRunProgramMatchesCongest).
+//
+// Error semantics are identical on both engines: a node panic is isolated
+// (the node goes silent, its pending payloads are dropped) and surfaces as
+// an error; a bandwidth-budget violation aborts the run without burning the
+// remaining rounds' work. When several nodes fail, the reported error is
+// the one at the earliest round, ties broken by lowest vertex — the same
+// deterministic selection regardless of engine, worker count, or
+// scheduling.
 //
 // A Network is NOT safe for concurrent RunProgram calls; concurrent sweep
 // workloads give each worker its own Network (see internal/sweep).
@@ -22,22 +35,23 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
-	"cycledetect/internal/congest"
 	"cycledetect/internal/graph"
 	"cycledetect/internal/xrand"
 )
 
-// Options fixes the per-network configuration. Everything that
-// congest.Config carries except the seed, which varies per run.
+// Options fixes the per-network configuration. Everything that Config
+// carries except the seed, which varies per run.
 type Options struct {
-	// Engine selects the execution engine; empty means congest.EngineBSP.
-	Engine congest.Engine
-	// IDs optionally assigns identifiers to vertices (see congest.Config).
-	IDs []congest.ID
+	// Engine selects the execution engine; empty means EngineBSP.
+	Engine Engine
+	// IDs optionally assigns identifiers to vertices (see Config).
+	IDs []ID
 	// BandwidthBits, if positive, is a hard per-message budget in bits.
 	BandwidthBits int
 	// Workers caps the BSP worker pool (0 means GOMAXPROCS). Sweep
@@ -46,46 +60,101 @@ type Options struct {
 	Workers int
 }
 
+// nodeErr is one vertex's first failure in a run — a panic or a bandwidth
+// violation — tagged with its rank so the run error can be selected
+// deterministically (earliest rank, then lowest vertex).
+type nodeErr struct {
+	rank int
+	err  error
+}
+
+// Failure ranks order same-run failures the way the BSP phase sequence
+// observes them: round r's send-phase panics and bandwidth violations
+// (detected at delivery) precede round r's receive-phase panics — the BSP
+// engine aborts between those two phases, so a same-round Receive failure
+// must never outrank a Send/delivery one — which precede everything at
+// round r+1; output-phase panics come last. Ranking by phase, not just
+// round, is what keeps the selected error identical across engines: the
+// channels engine may record failures in phases the BSP engine never
+// reached, but those always carry a higher rank than the one BSP aborted
+// on.
+func sendRank(round int) int    { return 2 * round }
+func recvRank(round int) int    { return 2*round + 1 }
+func outputRank(rounds int) int { return 2*rounds + 2 }
+
+// failureRank maps a panicking phase to the failure's reported round and
+// its selection rank. Both engines' recovery hooks go through this one
+// mapping, so the cross-engine error selection cannot re-diverge.
+func failureRank(what string, round, rounds int) (int, int) {
+	switch what {
+	case "Receive":
+		return round, recvRank(round)
+	case "Output":
+		return rounds, outputRank(rounds)
+	}
+	return round, sendRank(round)
+}
+
 // Network is a compiled, reusable CONGEST network. Build it once with New,
 // run many programs with RunProgram, release the engine with Close.
 type Network struct {
 	g    *graph.Graph
 	opts Options
-	topo *congest.Topology
+	topo *Topology
 	rngs []xrand.RNG // one persistent coin stream per vertex, reseeded per run
 
 	// Node cache: nodes built by the previous run, reusable when the same
 	// Program value is run again and every node implements ReusableNode.
-	nodes    []congest.Node
-	lastProg congest.Program
+	nodes    []Node
+	lastProg Program
 	reusable bool
 
 	// Per-run state sized by the program's round count; rebuilt only when
 	// the round count changes between runs.
 	rounds    int
-	res       congest.Result
-	perWorker []congest.Stats // BSP: one per worker; channels: one per node
+	res       Result
+	perWorker []Stats // BSP: one per worker; channels: one per node
+
+	// Unified failure state, engine-independent. errs[v] is vertex v's
+	// first failure; failed[v] silences a panicked node's program calls for
+	// the rest of the run. Both are reset lazily (hadErr) since clean runs
+	// never touch them.
+	errs   []nodeErr
+	failed []bool
+	hadErr bool
+
+	// Shared per-port payload tables (out[v][p] / in[v][p], carved from two
+	// flat backing arrays).
+	out, in [][][]byte
 
 	// BSP engine state.
-	pool                               *congest.WorkerPool
+	pool                               *WorkerPool
 	workers                            int
-	out, in                            [][][]byte
-	workErr                            []error
-	round                              int // current round, read by the phase closures
+	hasErr                             []bool // per-worker failure flag, scanned at each round barrier
+	round                              int    // current round, read by the phase closures
 	sendPhase, deliverPhase, recvPhase func(w, lo, hi int)
 	outputPhase                        func(w, lo, hi int)
 
-	// Channels engine state (persistent across runs; goroutines are per-run).
-	ch       [][]chan []byte
-	edgeBufs [][][2][]byte
-	errs     []error
+	// Channels engine state: the per-directed-edge channel fabric plus one
+	// persistent goroutine per node, parked on chStart between runs.
+	ch        [][]chan []byte
+	edgeBufs  [][][2][]byte
+	chNodes   []chanNode
+	chStart   []chan struct{}
+	chWG      sync.WaitGroup
+	chRounds  int
+	abortRank atomic.Int64 // lowest failure rank so far; noAbort when clean
 }
 
+// noAbort is abortRank's value while no failure has been recorded.
+const noAbort = math.MaxInt64
+
 // New compiles g into a reusable Network. The returned Network owns a
-// persistent worker pool (BSP engine, multi-core); call Close to release it.
+// persistent engine — the BSP worker pool or the channels engine's parked
+// per-node goroutines; call Close to release it.
 func New(g *graph.Graph, opts Options) (*Network, error) {
-	cfg := congest.Config{IDs: opts.IDs, BandwidthBits: opts.BandwidthBits}
-	topo, err := congest.BuildTopology(g, &cfg)
+	cfg := Config{IDs: opts.IDs, BandwidthBits: opts.BandwidthBits}
+	topo, err := BuildTopology(g, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -97,43 +166,9 @@ func New(g *graph.Graph, opts Options) (*Network, error) {
 	nw.rngs = make([]xrand.RNG, n)
 	nw.res.IDs = topo.IDs()
 	nw.res.Outputs = make([]any, n)
+	nw.errs = make([]nodeErr, n)
+	nw.failed = make([]bool, n)
 
-	switch opts.Engine {
-	case congest.EngineBSP, "":
-		nw.buildBSP()
-	case congest.EngineChannels:
-		nw.buildChannels()
-	default:
-		return nil, fmt.Errorf("network: unknown engine %q", opts.Engine)
-	}
-	return nw, nil
-}
-
-// Graph returns the graph the network was compiled from.
-func (nw *Network) Graph() *graph.Graph { return nw.g }
-
-// Engine returns the engine the network executes on.
-func (nw *Network) Engine() congest.Engine {
-	if nw.opts.Engine == "" {
-		return congest.EngineBSP
-	}
-	return nw.opts.Engine
-}
-
-// Close releases the persistent worker pool. The Network must not be used
-// afterwards.
-func (nw *Network) Close() {
-	if nw.pool != nil {
-		nw.pool.Close()
-		nw.pool = nil
-	}
-}
-
-// buildBSP allocates the lockstep engine's reusable structures: flat payload
-// tables, the worker pool, and the phase closures (allocated once here; the
-// per-run loop only writes nw.round between barriers).
-func (nw *Network) buildBSP() {
-	g, n := nw.g, nw.g.N()
 	nw.out = make([][][]byte, n)
 	nw.in = make([][][]byte, n)
 	outFlat := make([][]byte, 2*g.M())
@@ -146,6 +181,46 @@ func (nw *Network) buildBSP() {
 		off += deg
 	}
 
+	switch opts.Engine {
+	case EngineBSP, "":
+		nw.buildBSP()
+	case EngineChannels:
+		nw.buildChannels()
+	default:
+		return nil, fmt.Errorf("network: unknown engine %q", opts.Engine)
+	}
+	return nw, nil
+}
+
+// Graph returns the graph the network was compiled from.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Engine returns the engine the network executes on.
+func (nw *Network) Engine() Engine {
+	if nw.opts.Engine == "" {
+		return EngineBSP
+	}
+	return nw.opts.Engine
+}
+
+// Close releases the persistent engine — the BSP worker pool or the parked
+// channel-engine node goroutines. The Network must not be used afterwards.
+func (nw *Network) Close() {
+	if nw.pool != nil {
+		nw.pool.Close()
+		nw.pool = nil
+	}
+	for _, c := range nw.chStart {
+		close(c)
+	}
+	nw.chStart = nil
+}
+
+// buildBSP allocates the lockstep engine's reusable structures: the worker
+// pool and the phase closures (allocated once here; the per-run loop only
+// writes nw.round between barriers).
+func (nw *Network) buildBSP() {
+	g, n := nw.g, nw.g.N()
 	workers := nw.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -157,15 +232,23 @@ func (nw *Network) buildBSP() {
 		workers = 1
 	}
 	nw.workers = workers
-	nw.workErr = make([]error, workers)
+	nw.hasErr = make([]bool, workers)
 	if workers > 1 {
-		nw.pool = congest.NewWorkerPool(workers, n)
+		nw.pool = NewWorkerPool(workers, n)
 	}
 
 	nw.sendPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			clearPayloads(nw.out[v])
-			nw.nodes[v].Send(nw.round, nw.out[v])
+			if nw.failed[v] {
+				continue
+			}
+			nw.sendNode(w, v)
+			if nw.failed[v] {
+				// A mid-Send panic leaves out[v] partially filled; the
+				// node's round goes silent, like on the channels engine.
+				clearPayloads(nw.out[v])
+			}
 		}
 	}
 	// Delivery iterates by receiver so each worker writes only its own
@@ -185,44 +268,79 @@ func (nw *Network) buildBSP() {
 				}
 				bits := 8 * len(payload)
 				st.Observe(nw.round, bits)
-				if budget > 0 && bits > budget && nw.workErr[w] == nil {
+				if budget > 0 && bits > budget && nw.errs[v].err == nil {
 					ids := nw.topo.IDs()
-					nw.workErr[w] = &congest.ErrBandwidth{
+					nw.errs[v] = nodeErr{rank: sendRank(nw.round), err: &ErrBandwidth{
 						Round: nw.round, From: ids[u], To: ids[v],
 						Bits: bits, BudgetBit: budget,
-					}
+					}}
+					nw.hasErr[w] = true
 				}
 			}
 		}
 	}
 	nw.recvPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			nw.nodes[v].Receive(nw.round, nw.in[v])
+			if !nw.failed[v] {
+				nw.recvNode(w, v)
+			}
 			clearPayloads(nw.in[v])
 		}
 	}
 	nw.outputPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
-			nw.res.Outputs[v] = nw.nodes[v].Output()
+			if !nw.failed[v] {
+				nw.outputNode(w, v)
+			}
 		}
 	}
 }
 
-// buildChannels allocates the α-synchronizer engine's persistent structures:
-// the per-directed-edge capacity-1 channels and double buffers, plus flat
-// per-node payload views. Node goroutines are spawned per run (they
-// terminate with the run), so the channels engine is not allocation-free
-// across runs — but a completed run always leaves every channel drained, so
-// the channel fabric itself is reusable.
+// sendNode, recvNode and outputNode isolate one node's program calls: a
+// panic is converted into a recorded nodeErr and the node goes silent for
+// the rest of the run, exactly like on the channels engine. They are
+// methods (not closures) so the BSP hot path stays allocation-free.
+func (nw *Network) sendNode(w, v int) {
+	defer nw.catchNode(w, v, "Send")
+	nw.nodes[v].Send(nw.round, nw.out[v])
+}
+
+func (nw *Network) recvNode(w, v int) {
+	defer nw.catchNode(w, v, "Receive")
+	nw.nodes[v].Receive(nw.round, nw.in[v])
+}
+
+func (nw *Network) outputNode(w, v int) {
+	defer nw.catchNode(w, v, "Output")
+	nw.res.Outputs[v] = nw.nodes[v].Output()
+}
+
+// catchNode is the deferred recovery hook of the BSP per-node calls.
+func (nw *Network) catchNode(w, v int, what string) {
+	if p := recover(); p != nil {
+		nw.failed[v] = true
+		nw.hasErr[w] = true
+		if nw.errs[v].err == nil {
+			round, rank := failureRank(what, nw.round, nw.rounds)
+			nw.errs[v] = nodeErr{rank: rank, err: panicError(nw.topo.ids[v], what, round, p)}
+		}
+	}
+}
+
+func panicError(id ID, what string, round int, p any) error {
+	return fmt.Errorf("congest: node %d panicked in %s (round %d): %v", id, what, round, p)
+}
+
+// buildChannels allocates the α-synchronizer engine's persistent
+// structures: the per-directed-edge capacity-1 channels and double buffers,
+// plus one goroutine per node. The goroutines park on chStart between runs
+// and are released by Close, so a run on a built Network spawns no
+// goroutines at all — the fix for the per-run goroutine-per-node spawns the
+// pre-inversion engine paid even on a reused Network.
 func (nw *Network) buildChannels() {
 	g, n := nw.g, nw.g.N()
 	nw.ch = make([][]chan []byte, n)
 	nw.edgeBufs = make([][][2][]byte, n)
-	nw.out = make([][][]byte, n)
-	nw.in = make([][][]byte, n)
-	outFlat := make([][]byte, 2*g.M())
-	inFlat := make([][]byte, 2*g.M())
-	off := 0
 	for v := 0; v < n; v++ {
 		deg := g.Degree(v)
 		nw.ch[v] = make([]chan []byte, deg)
@@ -230,31 +348,53 @@ func (nw *Network) buildChannels() {
 			nw.ch[v][pt] = make(chan []byte, 1)
 		}
 		nw.edgeBufs[v] = make([][2][]byte, deg)
-		nw.out[v] = outFlat[off : off+deg : off+deg]
-		nw.in[v] = inFlat[off : off+deg : off+deg]
-		off += deg
 	}
-	nw.errs = make([]error, n)
+	nw.chNodes = make([]chanNode, n)
+	nw.chStart = make([]chan struct{}, n)
+	for v := 0; v < n; v++ {
+		nw.chNodes[v] = chanNode{nw: nw, v: v}
+		nw.chStart[v] = make(chan struct{}, 1)
+		// The channel is passed by value: Close nils nw.chStart, and a
+		// goroutine first scheduled after that must not read the field.
+		go func(cn *chanNode, start <-chan struct{}) {
+			for range start {
+				cn.run()
+				nw.chWG.Done()
+			}
+		}(&nw.chNodes[v], nw.chStart[v])
+	}
 }
 
 // prepare re-arms the per-run state: stats slabs sized to the program's
 // round count (reallocated only when the count changes), freshly seeded coin
-// streams, and cached-or-rebuilt nodes.
-func (nw *Network) prepare(p congest.Program, seed uint64) int {
+// streams, cached-or-rebuilt nodes, and — only after a failed run — cleared
+// failure state.
+func (nw *Network) prepare(p Program, seed uint64) int {
 	n := nw.g.N()
 	rounds := p.Rounds(n, nw.g.M())
 	if rounds != nw.rounds {
 		nw.rounds = rounds
-		nw.res.Stats = congest.NewStats(rounds)
+		nw.res.Stats = NewStats(rounds)
 		slab := nw.workers
-		if nw.Engine() == congest.EngineChannels {
+		if nw.Engine() == EngineChannels {
 			slab = n
 		}
-		nw.perWorker = congest.NewStatsSlab(slab, rounds)
+		nw.perWorker = NewStatsSlab(slab, rounds)
 	} else {
 		nw.res.Stats.Reset()
 		for i := range nw.perWorker {
 			nw.perWorker[i].Reset()
+		}
+	}
+
+	if nw.hadErr {
+		nw.hadErr = false
+		for v := range nw.errs {
+			nw.errs[v] = nodeErr{}
+			nw.failed[v] = false
+		}
+		for w := range nw.hasErr {
+			nw.hasErr[w] = false
 		}
 	}
 
@@ -264,17 +404,17 @@ func (nw *Network) prepare(p congest.Program, seed uint64) int {
 	}
 	if sameProgram(p, nw.lastProg) && nw.reusable {
 		for v := 0; v < n; v++ {
-			nw.nodes[v].(congest.ReusableNode).Reset(nw.topo.Info(v, &nw.rngs[v]))
+			nw.nodes[v].(ReusableNode).Reset(nw.topo.Info(v, &nw.rngs[v]))
 		}
 		return rounds
 	}
 	if nw.nodes == nil {
-		nw.nodes = make([]congest.Node, n)
+		nw.nodes = make([]Node, n)
 	}
 	nw.reusable = true
 	for v := 0; v < n; v++ {
 		nw.nodes[v] = p.NewNode(nw.topo.Info(v, &nw.rngs[v]))
-		if _, ok := nw.nodes[v].(congest.ReusableNode); !ok {
+		if _, ok := nw.nodes[v].(ReusableNode); !ok {
 			nw.reusable = false
 		}
 	}
@@ -284,27 +424,56 @@ func (nw *Network) prepare(p congest.Program, seed uint64) int {
 
 // RunProgram executes p against the network with the given seed. Results
 // are byte-identical to congest.RunWith(engine, g, p, cfg) for the same
-// configuration and seed.
+// configuration and seed (those entry points are wrappers over this one).
 //
 // The returned Result (including its Outputs and Stats slices) is owned by
 // the Network and is overwritten by the next RunProgram call; callers that
 // need it longer must copy what they keep. Passing the SAME Program value
 // on consecutive calls lets the Network reuse the per-node program state
-// when the nodes support it (congest.ReusableNode), which is what makes
-// repeated runs allocation-free on the BSP engine.
-func (nw *Network) RunProgram(p congest.Program, seed uint64) (*congest.Result, error) {
+// when the nodes support it (ReusableNode), which is what makes repeated
+// runs allocation-free.
+func (nw *Network) RunProgram(p Program, seed uint64) (*Result, error) {
 	rounds := nw.prepare(p, seed)
-	if nw.Engine() == congest.EngineChannels {
+	if nw.Engine() == EngineChannels {
 		return nw.runChannels(rounds)
 	}
 	return nw.runBSP(rounds)
 }
 
-func (nw *Network) runBSP(rounds int) (*congest.Result, error) {
-	n := nw.g.N()
-	for w := range nw.workErr {
-		nw.workErr[w] = nil
+// anyWorkerErr reports whether any worker recorded a failure this run; it
+// is scanned once per round barrier (workers entries, not n).
+func (nw *Network) anyWorkerErr() bool {
+	for _, e := range nw.hasErr {
+		if e {
+			return true
+		}
 	}
+	return false
+}
+
+// runFailed finishes an aborted run: it marks the failure state dirty for
+// the next prepare, forces a node rebuild (an aborted run leaves nodes
+// mid-state), and selects the deterministic run error — lowest failure
+// rank (earliest round, Send/delivery before Receive within it) first,
+// then lowest vertex. Both engines report through this one path, so a
+// violation surfaces identically however the run was scheduled.
+func (nw *Network) runFailed() error {
+	nw.hadErr = true
+	nw.lastProg = nil
+	best := -1
+	for v := range nw.errs {
+		if nw.errs[v].err == nil {
+			continue
+		}
+		if best < 0 || nw.errs[v].rank < nw.errs[best].rank {
+			best = v
+		}
+	}
+	return nw.errs[best].err
+}
+
+func (nw *Network) runBSP(rounds int) (*Result, error) {
+	n := nw.g.N()
 	runPhase := func(fn func(w, lo, hi int)) {
 		if nw.pool == nil {
 			fn(0, 0, n)
@@ -315,22 +484,24 @@ func (nw *Network) runBSP(rounds int) (*congest.Result, error) {
 	for nw.round = 1; nw.round <= rounds; nw.round++ {
 		runPhase(nw.sendPhase)
 		runPhase(nw.deliverPhase)
-		if nw.opts.BandwidthBits > 0 {
-			// Workers cover ascending vertex ranges, so the first error in
-			// worker order is the lowest-vertex violation — deterministic
-			// regardless of the worker count.
-			for _, e := range nw.workErr {
-				if e != nil {
-					// An aborted run leaves nodes mid-state; force a node
-					// rebuild on the next run.
-					nw.lastProg = nil
-					return nil, e
-				}
-			}
+		// One failure check per round, covering this round's Send panics
+		// and bandwidth violations plus the previous round's Receive
+		// panics. Workers cover ascending vertex ranges and every per-node
+		// first failure is kept, so the selection in runFailed is
+		// deterministic regardless of the worker count — and the remaining
+		// rounds' work is not burned.
+		if nw.anyWorkerErr() {
+			return nil, nw.runFailed()
 		}
 		runPhase(nw.recvPhase)
 	}
+	if nw.anyWorkerErr() { // Receive panics in the final round
+		return nil, nw.runFailed()
+	}
 	runPhase(nw.outputPhase)
+	if nw.anyWorkerErr() { // Output panics
+		return nil, nw.runFailed()
+	}
 	for w := range nw.perWorker {
 		nw.res.Stats.Merge(&nw.perWorker[w])
 	}
@@ -338,99 +509,187 @@ func (nw *Network) runBSP(rounds int) (*congest.Result, error) {
 	return &nw.res, nil
 }
 
-// runChannels mirrors congest.RunChannels over the persistent channel
-// fabric: one goroutine per node per run, capacity-1 channels, per-edge
-// double buffers alternated by round parity. See that function for the
-// synchronization argument; the only difference here is that the channels,
-// buffers, stats and payload views outlive the run.
-func (nw *Network) runChannels(rounds int) (*congest.Result, error) {
-	g, n := nw.g, nw.g.N()
-	ids := nw.topo.IDs()
-	budget := nw.opts.BandwidthBits
-	for v := range nw.errs {
-		nw.errs[v] = nil
+// runChannels executes one program run over the persistent channel fabric:
+// capacity-1 channels, per-edge double buffers alternated by round parity,
+// and the parked per-node goroutines woken for exactly one run each.
+//
+// Each node repeats, for every round: push this round's payload into each
+// outgoing channel, then pull one payload from each incoming channel.
+// Channels have capacity 1, so a sender blocks only while its neighbor
+// still owes a pull for the previous round; because each channel is FIFO
+// and carries exactly one payload per round (nil payloads included), the
+// r-th value pulled on a channel is exactly the r-th round's message, and
+// the execution is semantically identical to the lockstep engine even
+// though distant nodes may be in different rounds simultaneously.
+//
+// Because a receiver may still be reading round r's payload while the
+// sender is already producing round r+1's, the engine does not hand the
+// program's own out-slice across the channel: each directed edge owns two
+// reusable buffers, alternated by round parity, and the payload bytes are
+// copied into the current one at push time. The capacity-1 channel
+// guarantees the slot being overwritten for round r+2 was pulled — and
+// therefore fully consumed — at round r, so two slots suffice, programs may
+// reuse their out buffers every round (see Node), and steady-state rounds
+// allocate nothing.
+func (nw *Network) runChannels(rounds int) (*Result, error) {
+	n := nw.g.N()
+	nw.chRounds = rounds
+	nw.abortRank.Store(noAbort)
+	nw.chWG.Add(n)
+	for _, c := range nw.chStart {
+		c <- struct{}{}
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			st := &nw.perWorker[v]
-			node := nw.nodes[v]
-			ns := g.Neighbors(v)
-			rp := nw.topo.RevPorts(v)
-			deg := len(ns)
-			out, in := nw.out[v], nw.in[v]
-			failed := false
-			safe := func(r int, what string, fn func()) {
-				if failed {
-					return
-				}
-				defer func() {
-					if p := recover(); p != nil {
-						failed = true
-						if nw.errs[v] == nil {
-							nw.errs[v] = fmt.Errorf("congest: node %d panicked in %s (round %d): %v",
-								ids[v], what, r, p)
-						}
-					}
-				}()
-				fn()
-			}
-			for r := 1; r <= rounds; r++ {
-				clearPayloads(out)
-				safe(r, "Send", func() { node.Send(r, out) })
-				if failed {
-					clearPayloads(out)
-				}
-				for pt := 0; pt < deg; pt++ {
-					payload := out[pt]
-					if payload != nil {
-						bits := 8 * len(payload)
-						st.Observe(r, bits)
-						if budget > 0 && bits > budget {
-							if nw.errs[v] == nil {
-								nw.errs[v] = &congest.ErrBandwidth{
-									Round: r, From: ids[v], To: ids[ns[pt]],
-									Bits: bits, BudgetBit: budget,
-								}
-							}
-							payload = nil
-						}
-					}
-					if payload != nil {
-						slot := &nw.edgeBufs[v][pt][r&1]
-						*slot = append((*slot)[:0], payload...)
-						payload = *slot
-					}
-					nw.ch[int(ns[pt])][rp[pt]] <- payload
-				}
-				for pt := 0; pt < deg; pt++ {
-					in[pt] = <-nw.ch[v][pt]
-				}
-				safe(r, "Receive", func() { node.Receive(r, in) })
-			}
-			safe(rounds, "Output", func() { nw.res.Outputs[v] = node.Output() })
-		}(v)
-	}
-	wg.Wait()
+	nw.chWG.Wait()
 
+	if nw.abortRank.Load() != noAbort {
+		return nil, nw.runFailed()
+	}
 	for v := 0; v < n; v++ {
-		if nw.errs[v] != nil {
-			// A failed run may leave nodes mid-state; force a rebuild next run.
-			nw.lastProg = nil
-			return nil, nw.errs[v]
-		}
 		nw.res.Stats.Merge(&nw.perWorker[v])
 	}
 	nw.res.Stats.Finalize()
 	return &nw.res, nil
 }
 
+// chanNode is one node's persistent channel-engine runner. Its goroutine
+// parks on nw.chStart[v] between runs; run executes exactly one program
+// run.
+type chanNode struct {
+	nw     *Network
+	v      int
+	round  int
+	failed bool
+}
+
+// recordFailure stores v's first failure and drags abortRank down to the
+// lowest failure rank seen so far. Nodes past that rank's round go silent —
+// they keep the push/pull protocol alive (so no neighbor deadlocks) but
+// skip program calls, traffic accounting, and budget checks, which both
+// stops burning the remaining rounds' work and keeps the recorded failure
+// set deterministic: a round whose send rank is ≤ abortRank is never
+// silenced, so every failure that could win the lowest-rank/lowest-vertex
+// selection is always recorded, on any schedule.
+func (cn *chanNode) recordFailure(rank int, err error) {
+	nw := cn.nw
+	if nw.errs[cn.v].err == nil {
+		nw.errs[cn.v] = nodeErr{rank: rank, err: err}
+	}
+	for {
+		cur := nw.abortRank.Load()
+		if int64(rank) >= cur || nw.abortRank.CompareAndSwap(cur, int64(rank)) {
+			return
+		}
+	}
+}
+
+// send/receive/output isolate the node's program calls; catch is their
+// deferred recovery hook. Methods, not closures, so a run allocates only
+// when a node actually panics.
+func (cn *chanNode) send(out [][]byte) {
+	defer cn.catch("Send")
+	cn.nw.nodes[cn.v].Send(cn.round, out)
+}
+
+func (cn *chanNode) receive(in [][]byte) {
+	defer cn.catch("Receive")
+	cn.nw.nodes[cn.v].Receive(cn.round, in)
+}
+
+func (cn *chanNode) output() {
+	defer cn.catch("Output")
+	cn.nw.res.Outputs[cn.v] = cn.nw.nodes[cn.v].Output()
+}
+
+func (cn *chanNode) catch(what string) {
+	if p := recover(); p != nil {
+		cn.failed = true
+		round, rank := failureRank(what, cn.round, cn.nw.chRounds)
+		cn.recordFailure(rank, panicError(cn.nw.topo.ids[cn.v], what, round, p))
+	}
+}
+
+func (cn *chanNode) run() {
+	nw := cn.nw
+	v := cn.v
+	cn.failed = false
+	st := &nw.perWorker[v]
+	ns := nw.g.Neighbors(v)
+	rp := nw.topo.revPort[v]
+	deg := len(ns)
+	out, in := nw.out[v], nw.in[v]
+	budget := nw.opts.BandwidthBits
+	ids := nw.topo.ids
+	rounds := nw.chRounds
+	for r := 1; r <= rounds; r++ {
+		cn.round = r
+		// A round whose ranks are at or below the current abort rank always
+		// runs in full; abortRank only ever decreases, so the round the
+		// selected error belongs to is never silenced anywhere (see
+		// recordFailure).
+		live := !cn.failed && int64(sendRank(r)) <= nw.abortRank.Load()
+		clearPayloads(out)
+		if live {
+			cn.send(out)
+			if cn.failed {
+				clearPayloads(out)
+			}
+		}
+		for pt := 0; pt < deg; pt++ {
+			payload := out[pt]
+			if payload != nil {
+				// Detach from the program's buffer: copy into this edge's
+				// slot for the round's parity.
+				slot := &nw.edgeBufs[v][pt][r&1]
+				*slot = append((*slot)[:0], payload...)
+				payload = *slot
+			}
+			// Push into the neighbor's inbound channel for the edge.
+			nw.ch[int(ns[pt])][rp[pt]] <- payload
+		}
+		for pt := 0; pt < deg; pt++ {
+			payload := <-nw.ch[v][pt]
+			in[pt] = payload
+			if payload == nil || !live {
+				continue
+			}
+			// Traffic accounting and budget enforcement happen at the
+			// receiver, mirroring the BSP delivery phase, so both engines
+			// attribute a violation to the same (round, receiver) and the
+			// shared selection in runFailed yields the identical error.
+			bits := 8 * len(payload)
+			st.Observe(r, bits)
+			if budget > 0 && bits > budget {
+				if nw.errs[v].err == nil {
+					cn.recordFailure(sendRank(r), &ErrBandwidth{
+						Round: r, From: ids[int(ns[pt])], To: ids[v],
+						Bits: bits, BudgetBit: budget,
+					})
+				}
+				// A program must never observe a budget-violating message:
+				// the BSP engine aborts between delivery and Receive, so
+				// its programs never see one either.
+				in[pt] = nil
+			}
+		}
+		if !cn.failed && live {
+			cn.receive(in)
+		}
+	}
+	cn.round = rounds
+	// Output runs unless a ROUND-phase failure happened: an output-phase
+	// panic elsewhere must not suppress this node's Output (the BSP engine
+	// runs the whole output phase too, and skipping here would make the
+	// recorded set — and thus the lowest-vertex tie-break — depend on
+	// goroutine scheduling).
+	if !cn.failed && nw.abortRank.Load() > int64(recvRank(rounds)) {
+		cn.output()
+	}
+}
+
 // sameProgram reports whether two Program values are the same comparable
 // value (typically the same pointer). Non-comparable program types are never
 // considered equal rather than letting the == panic.
-func sameProgram(a, b congest.Program) bool {
+func sameProgram(a, b Program) bool {
 	if a == nil || b == nil {
 		return false
 	}

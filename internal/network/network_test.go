@@ -1,218 +1,14 @@
 package network
 
-import (
-	"reflect"
-	"testing"
-
-	"cycledetect/internal/congest"
-	"cycledetect/internal/core"
-	"cycledetect/internal/graph"
-	"cycledetect/internal/xrand"
-)
-
-// testGraphs returns the cross-engine equivalence fixtures: an accepting
-// tree, a rejecting ε-far instance (exercises witness state), a random
-// G(n,m), and a dense bipartite graph (heavy Phase-2 fan-in).
-func testGraphs(t *testing.T) map[string]*graph.Graph {
-	t.Helper()
-	rng := xrand.New(42)
-	far, _ := graph.FarFromCkFree(40, 5, 0.05, rng)
-	return map[string]*graph.Graph{
-		"tree":  graph.RandomTree(30, rng),
-		"far":   far,
-		"gnm":   graph.ConnectedGNM(48, 4*48, rng),
-		"K6x6":  graph.CompleteBipartite(6, 6),
-		"cycle": graph.Cycle(9),
-	}
-}
-
-// TestRunProgramMatchesCongest locks the tentpole contract: a reused
-// Network produces results byte-identical to a fresh congest.RunWith for
-// every graph, engine, program, and seed — including runs late in the
-// Network's life, after many node reuses with different seeds.
-func TestRunProgramMatchesCongest(t *testing.T) {
-	for name, g := range testGraphs(t) {
-		for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
-			t.Run(name+"/"+string(engine), func(t *testing.T) {
-				nw, err := New(g, Options{Engine: engine})
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer nw.Close()
-				// One Program value reused across seeds: the node-cache path.
-				prog := &core.Tester{K: 5, Reps: 2}
-				for seed := uint64(0); seed < 6; seed++ {
-					want, err := congest.RunWith(engine, g, &core.Tester{K: 5, Reps: 2}, congest.Config{Seed: seed})
-					if err != nil {
-						t.Fatal(err)
-					}
-					got, err := nw.RunProgram(prog, seed)
-					if err != nil {
-						t.Fatal(err)
-					}
-					assertResultsEqual(t, seed, want, got)
-				}
-				// Even k takes the sent-arena detect path; also a program
-				// switch on a live network (cache invalidation).
-				prog6 := &core.Tester{K: 6, Reps: 2}
-				want, err := congest.RunWith(engine, g, &core.Tester{K: 6, Reps: 2}, congest.Config{Seed: 11})
-				if err != nil {
-					t.Fatal(err)
-				}
-				got, err := nw.RunProgram(prog6, 11)
-				if err != nil {
-					t.Fatal(err)
-				}
-				assertResultsEqual(t, 11, want, got)
-			})
-		}
-	}
-}
-
-// TestRunProgramMatchesCongestDetector covers the deterministic Phase-2
-// program and a non-trivial ID assignment.
-func TestRunProgramMatchesCongestDetector(t *testing.T) {
-	rng := xrand.New(7)
-	g := graph.ConnectedGNM(32, 96, rng)
-	e := g.Edges()[3]
-	ids := make([]congest.ID, g.N())
-	for v := range ids {
-		ids[v] = congest.ID(1000 + 3*v) // arbitrary distinct assignment
-	}
-	prog := &core.EdgeDetector{K: 6, U: ids[e.U], V: ids[e.V]}
-	for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
-		nw, err := New(g, Options{Engine: engine, IDs: ids})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for seed := uint64(0); seed < 3; seed++ {
-			want, err := congest.RunWith(engine, g, &core.EdgeDetector{K: 6, U: ids[e.U], V: ids[e.V]},
-				congest.Config{Seed: seed, IDs: ids})
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := nw.RunProgram(prog, seed)
-			if err != nil {
-				t.Fatal(err)
-			}
-			assertResultsEqual(t, seed, want, got)
-		}
-		nw.Close()
-	}
-}
-
-// TestRunProgramBandwidthError checks that budget violations surface the
-// same deterministic error as congest.Run and that the Network recovers on
-// the next run (nodes are rebuilt after an aborted run).
-func TestRunProgramBandwidthError(t *testing.T) {
-	g := graph.CompleteBipartite(8, 8)
-	opts := Options{BandwidthBits: 40}
-	nw, err := New(g, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer nw.Close()
-	prog := &core.Tester{K: 6, Reps: 2, Mode: core.ModeNaive}
-	_, wantErr := congest.Run(g, &core.Tester{K: 6, Reps: 2, Mode: core.ModeNaive},
-		congest.Config{Seed: 3, BandwidthBits: 40})
-	if wantErr == nil {
-		t.Fatal("expected a bandwidth violation from the naive tester")
-	}
-	_, gotErr := nw.RunProgram(prog, 3)
-	if gotErr == nil || gotErr.Error() != wantErr.Error() {
-		t.Fatalf("error mismatch:\n got  %v\n want %v", gotErr, wantErr)
-	}
-	// The network must still behave exactly like a fresh run after the
-	// abort, whatever the outcome under the same tight budget.
-	ok := &core.Tester{K: 6, Reps: 1}
-	want, wantErr2 := congest.Run(g, &core.Tester{K: 6, Reps: 1}, congest.Config{Seed: 4, BandwidthBits: 40})
-	got, gotErr2 := nw.RunProgram(ok, 4)
-	switch {
-	case wantErr2 != nil:
-		if gotErr2 == nil || gotErr2.Error() != wantErr2.Error() {
-			t.Fatalf("post-abort error mismatch:\n got  %v\n want %v", gotErr2, wantErr2)
-		}
-	case gotErr2 != nil:
-		t.Fatalf("post-abort run failed: %v", gotErr2)
-	default:
-		assertResultsEqual(t, 4, want, got)
-	}
-}
-
-// TestRunProgramSingleWorker pins equivalence for Workers: 1, the
-// configuration the sweep scheduler uses when it shards networks across
-// cores itself.
-func TestRunProgramSingleWorker(t *testing.T) {
-	rng := xrand.New(9)
-	g := graph.ConnectedGNM(40, 160, rng)
-	nw, err := New(g, Options{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer nw.Close()
-	prog := &core.Tester{K: 7, Reps: 2}
-	for seed := uint64(0); seed < 4; seed++ {
-		want, err := congest.Run(g, &core.Tester{K: 7, Reps: 2}, congest.Config{Seed: seed})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := nw.RunProgram(prog, seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		assertResultsEqual(t, seed, want, got)
-	}
-}
-
-func assertResultsEqual(t *testing.T, seed uint64, want, got *congest.Result) {
-	t.Helper()
-	if !reflect.DeepEqual(want.IDs, got.IDs) {
-		t.Fatalf("seed %d: ID assignment differs", seed)
-	}
-	if !reflect.DeepEqual(want.Outputs, got.Outputs) {
-		t.Fatalf("seed %d: outputs differ\n got  %v\n want %v", seed, got.Outputs, want.Outputs)
-	}
-	if !reflect.DeepEqual(want.Stats, got.Stats) {
-		t.Fatalf("seed %d: stats differ\n got  %+v\n want %+v", seed, got.Stats, want.Stats)
-	}
-}
-
-// TestNetworkRunAllocFree is the allocation regression for the tentpole:
-// once a Network and its cached nodes are warm, repeated RunProgram calls
-// with the same Program value must not allocate at all on the BSP engine.
-// The graph is Ck-free so no run ever assembles a witness (witness assembly
-// is allowed to allocate — rejection ends a workload).
-func TestNetworkRunAllocFree(t *testing.T) {
-	rng := xrand.New(5)
-	g := graph.RandomTree(64, rng)
-	nw, err := New(g, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer nw.Close()
-	prog := &core.Tester{K: 5, Reps: 4}
-	seed := uint64(0)
-	for ; seed < 5; seed++ { // warm arenas, rank buffers, and the node cache
-		if _, err := nw.RunProgram(prog, seed); err != nil {
-			t.Fatal(err)
-		}
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		seed++
-		if _, err := nw.RunProgram(prog, seed); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs > 0 {
-		t.Fatalf("steady-state RunProgram allocates %.1f times; want 0", allocs)
-	}
-}
+import "testing"
 
 // TestSameProgram exercises the node-cache guard, including the
-// non-comparable program type that a bare == would panic on.
+// non-comparable program type that a bare == would panic on. The
+// behavioral Network tests live in equiv_test.go (package network_test, so
+// they can drive the internal/congest wrappers against the same loops).
 func TestSameProgram(t *testing.T) {
-	a := &core.Tester{K: 5, Reps: 1}
-	b := &core.Tester{K: 5, Reps: 1}
+	a := &countProgram{}
+	b := &countProgram{}
 	if !sameProgram(a, a) {
 		t.Fatal("identical pointer not recognized")
 	}
@@ -228,10 +24,17 @@ func TestSameProgram(t *testing.T) {
 	}
 }
 
-// funcProgram is a deliberately non-comparable congest.Program.
+// countProgram is non-empty so distinct allocations have distinct
+// addresses (zero-size allocations may share one).
+type countProgram struct{ rounds int }
+
+func (p *countProgram) Rounds(n, m int) int   { return p.rounds }
+func (p *countProgram) NewNode(NodeInfo) Node { return nil }
+
+// funcProgram is a deliberately non-comparable Program.
 type funcProgram struct {
 	rounds func(n, m int) int
 }
 
-func (p funcProgram) Rounds(n, m int) int                   { return p.rounds(n, m) }
-func (p funcProgram) NewNode(congest.NodeInfo) congest.Node { return nil }
+func (p funcProgram) Rounds(n, m int) int   { return p.rounds(n, m) }
+func (p funcProgram) NewNode(NodeInfo) Node { return nil }

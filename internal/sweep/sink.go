@@ -11,6 +11,12 @@ import (
 // CSVSink streams results as CSV rows, header first. All numeric formatting
 // is deterministic, so two runs of the same spec produce byte-identical
 // output up to the elapsed_ms column (wall time is inherently noisy).
+//
+// Every row is flushed to the underlying writer as soon as it is written:
+// the sweep scheduler emits job i's aggregate as soon as jobs 0..i are done
+// (incremental delay, in the enumeration-complexity sense), and a row
+// buffered inside csv.Writer until sweep end would silently undo that
+// guarantee for CSV consumers.
 type CSVSink struct {
 	w      *csv.Writer
 	header bool
@@ -61,7 +67,11 @@ func (s *CSVSink) Write(r *Result) error {
 	if s.Elapsed {
 		row = append(row, fmt.Sprintf("%.2f", float64(r.Elapsed.Microseconds())/1000))
 	}
-	return s.w.Write(row)
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
 }
 
 // Flush implements Sink.

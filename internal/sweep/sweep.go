@@ -40,9 +40,20 @@ type GraphSpec struct {
 
 func (gs GraphSpec) String() string {
 	if gs.Family == "gnm" {
-		return fmt.Sprintf("%s(n=%d,m=%d)", gs.Family, gs.N, gs.M)
+		// Resolve the 4n default so logs and errors name the graph that is
+		// actually built, not "m=0".
+		return fmt.Sprintf("%s(n=%d,m=%d)", gs.Family, gs.N, gs.resolvedM())
 	}
 	return fmt.Sprintf("%s(n=%d)", gs.Family, gs.N)
+}
+
+// resolvedM is the edge count the gnm generator will actually use: M, or
+// the documented 4n default when M is omitted.
+func (gs GraphSpec) resolvedM() int {
+	if gs.M > 0 {
+		return gs.M
+	}
+	return 4 * gs.N
 }
 
 // Spec is a declarative sweep: the cross product of Graphs × K × Eps ×
@@ -246,11 +257,7 @@ func buildGraph(key graphKey, seed uint64) (g *graph.Graph, err error) {
 	rng := xrand.New(xrand.Mix64(seed ^ 0x67726170685f6765)) // "graph_ge" salt: decouple from trial seeds
 	switch key.gs.Family {
 	case "gnm":
-		m := key.gs.M
-		if m <= 0 {
-			m = 4 * key.gs.N
-		}
-		return graph.ConnectedGNM(key.gs.N, m, rng), nil
+		return graph.ConnectedGNM(key.gs.N, key.gs.resolvedM(), rng), nil
 	case "far":
 		g, _ := graph.FarFromCkFree(key.gs.N, key.k, key.eps, rng)
 		return g, nil

@@ -236,6 +236,53 @@ func TestCSVSinkShape(t *testing.T) {
 	}
 }
 
+// TestCSVSinkStreamsIncrementally asserts the streaming guarantee at the
+// byte level: every job's CSV row must reach the underlying writer before
+// Run moves on — not sit in csv.Writer's buffer until sweep end. Sinks are
+// written in registration order per result, so a probe sink registered
+// after the CSV sink observes the buffer length right after each row; it
+// must grow row by row while the sweep is still running.
+func TestCSVSinkStreamsIncrementally(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVSink(&buf)
+	var sizes []int
+	probe := FuncSink(func(r *Result) error {
+		sizes = append(sizes, buf.Len())
+		return nil
+	})
+	spec := demoSpec()
+	if _, err := Run(spec, sink, probe); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := spec.Jobs()
+	if len(sizes) != len(jobs) {
+		t.Fatalf("probe saw %d results, want %d", len(sizes), len(jobs))
+	}
+	prev := 0
+	for i, s := range sizes {
+		if s <= prev {
+			t.Fatalf("job %d: CSV bytes were still buffered when the row was emitted (%d <= %d bytes)", i, s, prev)
+		}
+		prev = s
+	}
+}
+
+// TestGraphSpecStringResolvesDefaultM: the gnm default (m = 4n) must be
+// resolved before formatting, so logs and error messages name the graph
+// that is actually built instead of "m=0".
+func TestGraphSpecStringResolvesDefaultM(t *testing.T) {
+	cases := map[string]GraphSpec{
+		"gnm(n=128,m=512)": {Family: "gnm", N: 128},
+		"gnm(n=128,m=300)": {Family: "gnm", N: 128, M: 300},
+		"tree(n=9)":        {Family: "tree", N: 9},
+	}
+	for want, gs := range cases {
+		if got := gs.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", gs, got, want)
+		}
+	}
+}
+
 // TestJSONSinkLines checks one valid JSON object per result.
 func TestJSONSinkLines(t *testing.T) {
 	var buf bytes.Buffer
