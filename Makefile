@@ -2,10 +2,12 @@
 # targets just bundle the common invocations.
 
 # Benchmarks included in perf snapshots: the simulator hot path (tester,
-# engines, network reuse) and the micro-benchmarks behind it. The experiment
-# benchmarks (E1-E12) are reproduction runs, not perf-tracking targets.
-BENCH ?= TesterByK|EnginesCompare|NetworkReuse|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
-SNAPSHOT ?= BENCH_3.json
+# engines, network reuse), the serving layer's per-query overhead, the
+# exponential-q representative-selection guard, and the micro-benchmarks
+# behind them. The experiment benchmarks (E1-E12) are reproduction runs,
+# not perf-tracking targets.
+BENCH ?= TesterByK|EnginesCompare|NetworkReuse|ServeConcurrent|Representatives|WireCodec|Pruning$$|PrunerVsBrute|PublicAPI
+SNAPSHOT ?= BENCH_4.json
 
 # Maximum tolerated allocs/op regression (percent) between the two latest
 # committed snapshots; `make bench-gate` (a blocking CI step) fails beyond
@@ -13,7 +15,7 @@ SNAPSHOT ?= BENCH_3.json
 # and stays informational.
 ALLOCS_REGRESS_BUDGET ?= 10
 
-.PHONY: all build test race vet fmt bench bench-compare bench-gate check
+.PHONY: all build test race vet fmt bench bench-compare bench-gate check serve load
 
 all: check
 
@@ -34,12 +36,22 @@ fmt:
 
 check: fmt vet test
 
+# serve starts the query-serving HTTP server (see cmd/serve and
+# internal/serve; README "Query-serving layer" has a curl session).
+serve:
+	go run ./cmd/serve
+
+# load runs the concurrent-load demo against an in-process server: M
+# clients × one cached 256-node graph over real HTTP (examples/serve).
+load:
+	go run ./examples/serve
+
 # bench runs the perf-tracking benchmarks and writes $(SNAPSHOT) — a JSON
 # map of benchmark name -> {ns_op, bytes_per_op, allocs_per_op} — so future
 # PRs have a committed trajectory to compare against (BENCH_1.json for PR 1,
 # BENCH_2.json for this PR, BENCH_3.json for the next, ...).
 bench:
-	go test -run=NONE -bench '$(BENCH)' -benchmem | go run ./cmd/benchsnap -o $(SNAPSHOT)
+	go test ./... -run=NONE -bench '$(BENCH)' -benchmem | go run ./cmd/benchsnap -o $(SNAPSHOT)
 
 # bench-compare diffs the two latest committed BENCH_*.json snapshots and
 # prints per-benchmark ns/op and allocs/op deltas. Reporting only — it never

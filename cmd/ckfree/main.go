@@ -20,6 +20,7 @@ import (
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
 	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
 	"cycledetect/internal/xrand"
 )
 
@@ -62,7 +63,15 @@ func main() {
 		prog = &core.Tester{K: *k, Eps: *eps, Reps: *reps, Mode: mode}
 	}
 
-	res, err := congest.RunWith(congest.Engine(*engine), g, prog, congest.Config{Seed: *seed})
+	// Build-once/run-once through the reusable-network layer (the same
+	// single engine loop congest.RunWith wraps; a future multi-query mode
+	// would reuse nw across runs).
+	nw, err := network.New(g, network.Options{Engine: congest.Engine(*engine)})
+	if err != nil {
+		fatal(err)
+	}
+	defer nw.Close()
+	res, err := nw.RunProgram(prog, *seed)
 	if err != nil {
 		fatal(err)
 	}

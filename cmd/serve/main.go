@@ -1,0 +1,89 @@
+// Command serve runs the query-serving layer as an HTTP server: concurrent
+// tester/detector queries multiplexed over an LRU cache of compiled
+// networks, with warm per-graph instance pools (see internal/serve).
+//
+//	serve                         # listen on :8344
+//	serve -addr :9000 -max-graphs 16 -max-instances 8 -timeout 10s
+//
+// Example session:
+//
+//	curl -s localhost:8344/query -d '{
+//	  "graph": {"family": "gnm", "n": 256, "m": 1024, "seed": 7},
+//	  "k": 7, "eps": 0.1, "seed": 42
+//	}'
+//	curl -sN localhost:8344/sweep?format=sse -d '{
+//	  "graphs": [{"family": "gnm", "n": 128}],
+//	  "k": [5, 7], "eps": [0.1], "trials": 10, "seed": 1
+//	}'
+//	curl -s localhost:8344/stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight queries
+// and sweep streams finish (bounded by -drain), new connections are
+// refused, and every pooled engine is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cycledetect/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		maxGraphs    = flag.Int("max-graphs", 8, "LRU capacity: compiled networks kept cached")
+		maxInstances = flag.Int("max-instances", 0, "warm instances per (graph, engine); 0 = GOMAXPROCS")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-query deadline, including instance wait")
+		nwWorkers    = flag.Int("network-workers", 1, "BSP workers inside each instance")
+		bandwidth    = flag.Int("bandwidth-bits", 0, "per-message budget in bits (0 = unenforced)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Options{
+		MaxGraphs:      *maxGraphs,
+		MaxInstances:   *maxInstances,
+		QueryTimeout:   *timeout,
+		NetworkWorkers: *nwWorkers,
+		BandwidthBits:  *bandwidth,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("serve: listening on %s (max-graphs=%d, timeout=%v)", *addr, *maxGraphs, *timeout)
+
+	select {
+	case err := <-errCh:
+		// Listen failed before any signal.
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("serve: shutting down (drain %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("serve: drain incomplete: %v", err)
+	}
+	srv.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

@@ -85,6 +85,9 @@ func main() {
 	if *workers > 0 {
 		spec.Workers = *workers
 	}
+	for _, w := range spec.Warnings() {
+		fmt.Fprintln(os.Stderr, "sweep: warning:", w)
+	}
 
 	var out io.Writer = os.Stdout
 	var outFile *os.File

@@ -8,8 +8,8 @@ import (
 	"os"
 
 	"cycledetect/internal/bench"
-	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
+	"cycledetect/internal/network"
 	"cycledetect/internal/trace"
 )
 
@@ -23,7 +23,13 @@ func main() {
 
 	log := &trace.Log{}
 	prog := &core.EdgeDetector{K: 5, U: 0, V: 1, Trace: log}
-	res, err := congest.Run(g, prog, congest.Config{})
+	nw, err := network.New(g, network.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracefig1:", err)
+		os.Exit(1)
+	}
+	defer nw.Close()
+	res, err := nw.RunProgram(prog, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracefig1:", err)
 		os.Exit(1)

@@ -1,0 +1,47 @@
+package combin
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRepresentatives is the cost guard for the hitting-set witness
+// search behind the paper's greedy selection (Algorithm 1, lines 16–23).
+// The search is a depth-≤q branching, so its worst case is exponential in
+// q = k−t: the adversarial input below — pairwise-disjoint lists, so every
+// list past the (q+1)-st forces the search to exhaust all ≈ w^q witness
+// combinations before rejecting — makes the growth visible in the tracked
+// snapshots (q=9 is the k=11 regime that takes minutes on real dense
+// graphs; see MaxCalibratedK). Anyone raising experiment or sweep ranges
+// past k=9 should watch this benchmark's trend line first.
+func BenchmarkRepresentatives(b *testing.B) {
+	const width = 4 // IDs per list ≈ surviving-sequence width in Phase 2
+	for _, q := range []int{3, 5, 7, 9} {
+		// q+1 disjoint lists are kept greedily; the rest are rejected at
+		// full exponential cost each.
+		count := q + 6
+		lists := make([][]int64, count)
+		id := int64(0)
+		for i := range lists {
+			l := make([]int64, width)
+			for j := range l {
+				l[j] = id
+				id++
+			}
+			lists[i] = l
+		}
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			var s RepScratch
+			s.Prealloc(q, count)
+			var dst []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = AppendRepresentatives(dst[:0], lists, q, &s)
+			}
+			if len(dst) != q+1 {
+				b.Fatalf("kept %d lists, want %d", len(dst), q+1)
+			}
+		})
+	}
+}

@@ -111,6 +111,18 @@ func (s *RepScratch) Prealloc(q, keptCap int) {
 	}
 }
 
+// MaxCalibratedK is the largest cycle length whose representative-selection
+// cost is covered by the committed benchmarks (BenchmarkRepresentatives)
+// and the experiment grids. The witness search in existsWitness is a
+// depth-≤q branching with q = k−t up to k−2: polynomial for the paper's
+// regime (Lemma 3 bounds the kept family by (q+1)^(t−1)) but exponential in
+// q in the worst case. That worst case is real: k=11 on dense graphs takes
+// minutes per trial (hit while re-measuring prealloc envelopes; that case
+// was cut from the test grid). Raising an experiment or sweep range past
+// this constant should be preceded by profiling — sweep.Spec.Warnings
+// surfaces the overshoot to cmd/sweep and the serving layer.
+const MaxCalibratedK = 9
+
 // Representatives performs the greedy selection of Algorithm 1 (lines 16–23)
 // over lists, with witness-set size q, and returns the indices of the kept
 // lists in processing order.

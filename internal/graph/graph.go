@@ -8,6 +8,9 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 )
@@ -99,6 +102,31 @@ func (g *Graph) MaxDegree() int {
 		}
 	}
 	return max
+}
+
+// Fingerprint returns a canonical identity for the graph: a hex-encoded
+// SHA-256 over (n, m, CSR offsets, CSR adjacency). Because construction
+// always goes through Builder — which sorts and deduplicates neighbor
+// lists — two graphs with the same vertex count and edge set produce the
+// same fingerprint regardless of edge insertion order, and distinct edge
+// sets produce distinct fingerprints (up to hash collision). The serving
+// layer keys its cache of compiled networks on this.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	word(uint64(g.n))
+	word(uint64(g.m))
+	for _, o := range g.off {
+		word(uint64(uint32(o)))
+	}
+	for _, a := range g.adj {
+		word(uint64(uint32(a)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Clone returns a deep copy of g. Graphs are immutable so Clone is rarely

@@ -1,8 +1,13 @@
 // Package network is the home of the CONGEST simulator's execution
-// engines. A reusable Network handle compiles a graph's topology, per-node
-// coin streams, payload tables, and a persistent execution engine ONCE,
-// and then many programs are executed against the same network via
-// RunProgram. The one-shot entry points in internal/congest (Run,
+// engines. The expensive, immutable part of a network — the graph, the
+// validated ID assignment, the precomputed port topology — is compiled ONCE
+// into a shareable Compiled core; per-run mutable state (payload tables,
+// coin streams, node cache, stats slabs, and a persistent execution engine)
+// lives in an Instance attached to that core. Many programs are executed
+// against one Instance via RunProgram, and many Instances — on either
+// engine — attach to one Compiled with zero copying of the graph, which is
+// what lets N concurrent queries share one cached topology (see
+// internal/serve). The one-shot entry points in internal/congest (Run,
 // RunChannels, RunWith) are thin wrappers over New + RunProgram, so each
 // engine loop — including bandwidth accounting, panic isolation, and error
 // selection — exists exactly once, here.
@@ -10,16 +15,17 @@
 // The paper's tester is cheap per repetition — O(1/ε) rounds — so sweep
 // workloads (the E4/E11 harnesses, examples/sweep, cmd/sweep) are dominated
 // by re-building the same network hundreds of times when driven through
-// congest.Run. A Network amortizes every per-run allocation that
-// congest.Run pays: topology and ID validation, the flat payload tables,
-// per-node RNG streams (reseeded in place per run), the stats slabs, the
-// engine itself — the BSP worker pool or the channels engine's per-node
-// goroutines, which park between runs — and, when the same Program value is
-// run repeatedly and its nodes implement ReusableNode, the per-node program
-// state. In that steady state RunProgram performs zero heap allocations per
-// run and spawns zero goroutines on BOTH engines (locked by
-// TestNetworkRunAllocFree) while producing results byte-identical across
-// engines and entry points (locked by TestRunProgramMatchesCongest).
+// congest.Run. An Instance amortizes every per-run allocation that
+// congest.Run pays: topology and ID validation (shared via the Compiled),
+// the flat payload tables, per-node RNG streams (reseeded in place per
+// run), the stats slabs, the engine itself — the BSP worker pool or the
+// channels engine's per-node goroutines, which park between runs — and,
+// when the same Program value is run repeatedly and its nodes implement
+// ReusableNode, the per-node program state. In that steady state RunProgram
+// performs zero heap allocations per run and spawns zero goroutines on BOTH
+// engines (locked by TestNetworkRunAllocFree) while producing results
+// byte-identical across engines and entry points (locked by
+// TestRunProgramMatchesCongest).
 //
 // Error semantics are identical on both engines: a node panic is isolated
 // (the node goes silent, its pending payloads are dropped) and surfaces as
@@ -29,8 +35,10 @@
 // deterministic selection regardless of engine, worker count, or
 // scheduling.
 //
-// A Network is NOT safe for concurrent RunProgram calls; concurrent sweep
-// workloads give each worker its own Network (see internal/sweep).
+// A single Instance is NOT safe for concurrent RunProgram calls; concurrent
+// workloads attach one Instance per goroutine to a shared Compiled
+// (internal/serve pools warm Instances this way), or give each worker its
+// own Network (see internal/sweep).
 package network
 
 import (
@@ -45,8 +53,10 @@ import (
 	"cycledetect/internal/xrand"
 )
 
-// Options fixes the per-network configuration. Everything that Config
-// carries except the seed, which varies per run.
+// Options fixes the whole per-network configuration in one struct — the
+// union of CompileOptions and InstanceOptions, kept for the build-and-run
+// callers (congest's one-shot wrappers, sweep workers) that neither share a
+// Compiled nor vary the engine.
 type Options struct {
 	// Engine selects the execution engine; empty means EngineBSP.
 	Engine Engine
@@ -95,12 +105,14 @@ func failureRank(what string, round, rounds int) (int, int) {
 	return round, sendRank(round)
 }
 
-// Network is a compiled, reusable CONGEST network. Build it once with New,
-// run many programs with RunProgram, release the engine with Close.
-type Network struct {
-	g    *graph.Graph
-	opts Options
-	topo *Topology
+// Instance is the per-run mutable state slab of a network, attached to an
+// immutable Compiled core. Build one with Compiled.NewInstance (or New,
+// which compiles and attaches in one step), run many programs with
+// RunProgram, release the engine with Close.
+type Instance struct {
+	c     *Compiled
+	iopts InstanceOptions
+
 	rngs []xrand.RNG // one persistent coin stream per vertex, reseeded per run
 
 	// Node cache: nodes built by the previous run, reusable when the same
@@ -123,8 +135,8 @@ type Network struct {
 	failed []bool
 	hadErr bool
 
-	// Shared per-port payload tables (out[v][p] / in[v][p], carved from two
-	// flat backing arrays).
+	// Per-instance per-port payload tables (out[v][p] / in[v][p], carved
+	// from two flat backing arrays).
 	out, in [][][]byte
 
 	// BSP engine state.
@@ -146,25 +158,35 @@ type Network struct {
 	abortRank atomic.Int64 // lowest failure rank so far; noAbort when clean
 }
 
+// Network is the historical name of an Instance bundled with its own
+// private Compiled — the build-and-run shape every pre-serving caller uses.
+// The alias keeps that vocabulary: code that never shares a core keeps
+// saying Network/New, code that does says Compiled/Instance.
+type Network = Instance
+
 // noAbort is abortRank's value while no failure has been recorded.
 const noAbort = math.MaxInt64
 
-// New compiles g into a reusable Network. The returned Network owns a
-// persistent engine — the BSP worker pool or the channels engine's parked
-// per-node goroutines; call Close to release it.
+// New compiles g and attaches a single Instance in one step — the
+// build-and-run entry point for callers that do not share the compiled core.
+// The returned Network owns a persistent engine — the BSP worker pool or
+// the channels engine's parked per-node goroutines; call Close to release
+// it.
 func New(g *graph.Graph, opts Options) (*Network, error) {
-	cfg := Config{IDs: opts.IDs, BandwidthBits: opts.BandwidthBits}
-	topo, err := BuildTopology(g, &cfg)
+	c, err := Compile(g, CompileOptions{IDs: opts.IDs, BandwidthBits: opts.BandwidthBits})
 	if err != nil {
 		return nil, err
 	}
-	nw := &Network{g: g, opts: opts, topo: topo, rounds: -1}
-	// BuildTopology materializes the default assignment when IDs is nil;
-	// keep the resolved slice so every run sees the same assignment.
-	nw.opts.IDs = topo.IDs()
+	return c.NewInstance(InstanceOptions{Engine: opts.Engine, Workers: opts.Workers})
+}
+
+// init allocates the engine-independent per-instance state: payload
+// tables, coin streams, failure slabs, and the result skeleton.
+func (nw *Instance) init() {
+	g := nw.c.g
 	n := g.N()
 	nw.rngs = make([]xrand.RNG, n)
-	nw.res.IDs = topo.IDs()
+	nw.res.IDs = nw.c.topo.IDs()
 	nw.res.Outputs = make([]any, n)
 	nw.errs = make([]nodeErr, n)
 	nw.failed = make([]bool, n)
@@ -180,32 +202,26 @@ func New(g *graph.Graph, opts Options) (*Network, error) {
 		nw.in[v] = inFlat[off : off+deg : off+deg]
 		off += deg
 	}
-
-	switch opts.Engine {
-	case EngineBSP, "":
-		nw.buildBSP()
-	case EngineChannels:
-		nw.buildChannels()
-	default:
-		return nil, fmt.Errorf("network: unknown engine %q", opts.Engine)
-	}
-	return nw, nil
 }
 
 // Graph returns the graph the network was compiled from.
-func (nw *Network) Graph() *graph.Graph { return nw.g }
+func (nw *Instance) Graph() *graph.Graph { return nw.c.g }
 
-// Engine returns the engine the network executes on.
-func (nw *Network) Engine() Engine {
-	if nw.opts.Engine == "" {
+// Compiled returns the immutable core this instance is attached to.
+func (nw *Instance) Compiled() *Compiled { return nw.c }
+
+// Engine returns the engine the instance executes on.
+func (nw *Instance) Engine() Engine {
+	if nw.iopts.Engine == "" {
 		return EngineBSP
 	}
-	return nw.opts.Engine
+	return nw.iopts.Engine
 }
 
 // Close releases the persistent engine — the BSP worker pool or the parked
-// channel-engine node goroutines. The Network must not be used afterwards.
-func (nw *Network) Close() {
+// channel-engine node goroutines. The Instance must not be used afterwards;
+// its Compiled remains valid (other instances may still be attached).
+func (nw *Instance) Close() {
 	if nw.pool != nil {
 		nw.pool.Close()
 		nw.pool = nil
@@ -219,9 +235,9 @@ func (nw *Network) Close() {
 // buildBSP allocates the lockstep engine's reusable structures: the worker
 // pool and the phase closures (allocated once here; the per-run loop only
 // writes nw.round between barriers).
-func (nw *Network) buildBSP() {
-	g, n := nw.g, nw.g.N()
-	workers := nw.opts.Workers
+func (nw *Instance) buildBSP() {
+	g, n := nw.c.g, nw.c.g.N()
+	workers := nw.iopts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -255,10 +271,10 @@ func (nw *Network) buildBSP() {
 	// shard's in-tables; senders' out-tables are read-only during the phase.
 	nw.deliverPhase = func(w, lo, hi int) {
 		st := &nw.perWorker[w]
-		budget := nw.opts.BandwidthBits
+		budget := nw.c.opts.BandwidthBits
 		for v := lo; v < hi; v++ {
 			ns := g.Neighbors(v)
-			rp := nw.topo.RevPorts(v)
+			rp := nw.c.topo.RevPorts(v)
 			for pt := range nw.in[v] {
 				u := int(ns[pt])
 				payload := nw.out[u][rp[pt]]
@@ -269,7 +285,7 @@ func (nw *Network) buildBSP() {
 				bits := 8 * len(payload)
 				st.Observe(nw.round, bits)
 				if budget > 0 && bits > budget && nw.errs[v].err == nil {
-					ids := nw.topo.IDs()
+					ids := nw.c.topo.IDs()
 					nw.errs[v] = nodeErr{rank: sendRank(nw.round), err: &ErrBandwidth{
 						Round: nw.round, From: ids[u], To: ids[v],
 						Bits: bits, BudgetBit: budget,
@@ -300,29 +316,29 @@ func (nw *Network) buildBSP() {
 // panic is converted into a recorded nodeErr and the node goes silent for
 // the rest of the run, exactly like on the channels engine. They are
 // methods (not closures) so the BSP hot path stays allocation-free.
-func (nw *Network) sendNode(w, v int) {
+func (nw *Instance) sendNode(w, v int) {
 	defer nw.catchNode(w, v, "Send")
 	nw.nodes[v].Send(nw.round, nw.out[v])
 }
 
-func (nw *Network) recvNode(w, v int) {
+func (nw *Instance) recvNode(w, v int) {
 	defer nw.catchNode(w, v, "Receive")
 	nw.nodes[v].Receive(nw.round, nw.in[v])
 }
 
-func (nw *Network) outputNode(w, v int) {
+func (nw *Instance) outputNode(w, v int) {
 	defer nw.catchNode(w, v, "Output")
 	nw.res.Outputs[v] = nw.nodes[v].Output()
 }
 
 // catchNode is the deferred recovery hook of the BSP per-node calls.
-func (nw *Network) catchNode(w, v int, what string) {
+func (nw *Instance) catchNode(w, v int, what string) {
 	if p := recover(); p != nil {
 		nw.failed[v] = true
 		nw.hasErr[w] = true
 		if nw.errs[v].err == nil {
 			round, rank := failureRank(what, nw.round, nw.rounds)
-			nw.errs[v] = nodeErr{rank: rank, err: panicError(nw.topo.ids[v], what, round, p)}
+			nw.errs[v] = nodeErr{rank: rank, err: panicError(nw.c.topo.ids[v], what, round, p)}
 		}
 	}
 }
@@ -334,11 +350,11 @@ func panicError(id ID, what string, round int, p any) error {
 // buildChannels allocates the α-synchronizer engine's persistent
 // structures: the per-directed-edge capacity-1 channels and double buffers,
 // plus one goroutine per node. The goroutines park on chStart between runs
-// and are released by Close, so a run on a built Network spawns no
+// and are released by Close, so a run on a built Instance spawns no
 // goroutines at all — the fix for the per-run goroutine-per-node spawns the
 // pre-inversion engine paid even on a reused Network.
-func (nw *Network) buildChannels() {
-	g, n := nw.g, nw.g.N()
+func (nw *Instance) buildChannels() {
+	g, n := nw.c.g, nw.c.g.N()
 	nw.ch = make([][]chan []byte, n)
 	nw.edgeBufs = make([][][2][]byte, n)
 	for v := 0; v < n; v++ {
@@ -369,9 +385,9 @@ func (nw *Network) buildChannels() {
 // round count (reallocated only when the count changes), freshly seeded coin
 // streams, cached-or-rebuilt nodes, and — only after a failed run — cleared
 // failure state.
-func (nw *Network) prepare(p Program, seed uint64) int {
-	n := nw.g.N()
-	rounds := p.Rounds(n, nw.g.M())
+func (nw *Instance) prepare(p Program, seed uint64) int {
+	n := nw.c.g.N()
+	rounds := p.Rounds(n, nw.c.g.M())
 	if rounds != nw.rounds {
 		nw.rounds = rounds
 		nw.res.Stats = NewStats(rounds)
@@ -398,13 +414,13 @@ func (nw *Network) prepare(p Program, seed uint64) int {
 		}
 	}
 
-	ids := nw.topo.IDs()
+	ids := nw.c.topo.IDs()
 	for v := 0; v < n; v++ {
 		nw.rngs[v].SeedStream(seed, uint64(ids[v]))
 	}
 	if sameProgram(p, nw.lastProg) && nw.reusable {
 		for v := 0; v < n; v++ {
-			nw.nodes[v].(ReusableNode).Reset(nw.topo.Info(v, &nw.rngs[v]))
+			nw.nodes[v].(ReusableNode).Reset(nw.c.topo.Info(v, &nw.rngs[v]))
 		}
 		return rounds
 	}
@@ -413,7 +429,7 @@ func (nw *Network) prepare(p Program, seed uint64) int {
 	}
 	nw.reusable = true
 	for v := 0; v < n; v++ {
-		nw.nodes[v] = p.NewNode(nw.topo.Info(v, &nw.rngs[v]))
+		nw.nodes[v] = p.NewNode(nw.c.topo.Info(v, &nw.rngs[v]))
 		if _, ok := nw.nodes[v].(ReusableNode); !ok {
 			nw.reusable = false
 		}
@@ -427,12 +443,12 @@ func (nw *Network) prepare(p Program, seed uint64) int {
 // configuration and seed (those entry points are wrappers over this one).
 //
 // The returned Result (including its Outputs and Stats slices) is owned by
-// the Network and is overwritten by the next RunProgram call; callers that
+// the Instance and is overwritten by the next RunProgram call; callers that
 // need it longer must copy what they keep. Passing the SAME Program value
-// on consecutive calls lets the Network reuse the per-node program state
+// on consecutive calls lets the Instance reuse the per-node program state
 // when the nodes support it (ReusableNode), which is what makes repeated
 // runs allocation-free.
-func (nw *Network) RunProgram(p Program, seed uint64) (*Result, error) {
+func (nw *Instance) RunProgram(p Program, seed uint64) (*Result, error) {
 	rounds := nw.prepare(p, seed)
 	if nw.Engine() == EngineChannels {
 		return nw.runChannels(rounds)
@@ -442,7 +458,7 @@ func (nw *Network) RunProgram(p Program, seed uint64) (*Result, error) {
 
 // anyWorkerErr reports whether any worker recorded a failure this run; it
 // is scanned once per round barrier (workers entries, not n).
-func (nw *Network) anyWorkerErr() bool {
+func (nw *Instance) anyWorkerErr() bool {
 	for _, e := range nw.hasErr {
 		if e {
 			return true
@@ -457,7 +473,7 @@ func (nw *Network) anyWorkerErr() bool {
 // rank (earliest round, Send/delivery before Receive within it) first,
 // then lowest vertex. Both engines report through this one path, so a
 // violation surfaces identically however the run was scheduled.
-func (nw *Network) runFailed() error {
+func (nw *Instance) runFailed() error {
 	nw.hadErr = true
 	nw.lastProg = nil
 	best := -1
@@ -472,8 +488,8 @@ func (nw *Network) runFailed() error {
 	return nw.errs[best].err
 }
 
-func (nw *Network) runBSP(rounds int) (*Result, error) {
-	n := nw.g.N()
+func (nw *Instance) runBSP(rounds int) (*Result, error) {
+	n := nw.c.g.N()
 	runPhase := func(fn func(w, lo, hi int)) {
 		if nw.pool == nil {
 			fn(0, 0, n)
@@ -531,8 +547,8 @@ func (nw *Network) runBSP(rounds int) (*Result, error) {
 // therefore fully consumed — at round r, so two slots suffice, programs may
 // reuse their out buffers every round (see Node), and steady-state rounds
 // allocate nothing.
-func (nw *Network) runChannels(rounds int) (*Result, error) {
-	n := nw.g.N()
+func (nw *Instance) runChannels(rounds int) (*Result, error) {
+	n := nw.c.g.N()
 	nw.chRounds = rounds
 	nw.abortRank.Store(noAbort)
 	nw.chWG.Add(n)
@@ -555,7 +571,7 @@ func (nw *Network) runChannels(rounds int) (*Result, error) {
 // parks on nw.chStart[v] between runs; run executes exactly one program
 // run.
 type chanNode struct {
-	nw     *Network
+	nw     *Instance
 	v      int
 	round  int
 	failed bool
@@ -604,7 +620,7 @@ func (cn *chanNode) catch(what string) {
 	if p := recover(); p != nil {
 		cn.failed = true
 		round, rank := failureRank(what, cn.round, cn.nw.chRounds)
-		cn.recordFailure(rank, panicError(cn.nw.topo.ids[cn.v], what, round, p))
+		cn.recordFailure(rank, panicError(cn.nw.c.topo.ids[cn.v], what, round, p))
 	}
 }
 
@@ -613,12 +629,12 @@ func (cn *chanNode) run() {
 	v := cn.v
 	cn.failed = false
 	st := &nw.perWorker[v]
-	ns := nw.g.Neighbors(v)
-	rp := nw.topo.revPort[v]
+	ns := nw.c.g.Neighbors(v)
+	rp := nw.c.topo.revPort[v]
 	deg := len(ns)
 	out, in := nw.out[v], nw.in[v]
-	budget := nw.opts.BandwidthBits
-	ids := nw.topo.ids
+	budget := nw.c.opts.BandwidthBits
+	ids := nw.c.topo.ids
 	rounds := nw.chRounds
 	for r := 1; r <= rounds; r++ {
 		cn.round = r

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
+	"cycledetect/internal/sweep"
+)
+
+// BenchmarkServeConcurrent measures the serving layer's per-query overhead
+// against the floor it is built on: a warm reused RunProgram plus the same
+// verdict summary (what any query must do, with zero serving machinery).
+// The acceptance bar for the Compiled/Instance + warm-pool design is that
+// a cache-hit query — cache lookup, instance checkout, deadline
+// bookkeeping, run, summary, response — allocates within ~2× of that
+// floor; serving must add bounded constant overhead and never re-pay graph
+// compilation or node construction.
+//
+// Two workloads, because their floors differ by orders of magnitude:
+//
+//	accept-* — a 256-node tree (Ck-free): the run itself is 0-alloc
+//	           steady state, so the serving overhead is fully exposed
+//	           (floor ≈ Summarize only, single-digit allocs).
+//	reject-* — a 256-node G(n,4n): every query finds C7s, so witness
+//	           assembly dominates both sides and serving overhead
+//	           disappears in the noise.
+//
+// cached-query-parallel drives the reject workload from concurrent client
+// goroutines through the instance pool.
+func BenchmarkServeConcurrent(b *testing.B) {
+	const n, k, reps = 256, 7, 8
+	tree, err := sweep.BuildGraph(sweep.GraphSpec{Family: "tree", N: n}, 0, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gnm, err := sweep.BuildGraph(sweep.GraphSpec{Family: "gnm", N: n, M: 4 * n}, 0, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	floor := func(b *testing.B, g *graph.Graph) {
+		nw, err := network.New(g, network.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nw.Close()
+		prog := &core.Tester{K: k, Reps: reps}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := nw.RunProgram(prog, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := core.Summarize(res.Outputs, res.IDs)
+			_ = dec
+		}
+	}
+	served := func(b *testing.B, family string, m int) {
+		s := NewServer(Options{})
+		defer s.Close()
+		req := func(seed uint64) *QueryRequest {
+			return &QueryRequest{
+				Graph: GraphRequest{Family: family, N: n, M: m, Seed: 7},
+				K:     k, Reps: reps, Seed: seed,
+			}
+		}
+		if _, err := s.Query(context.Background(), req(1)); err != nil {
+			b.Fatal(err) // warm the cache and the instance pool
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(ctx, req(uint64(i)+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("accept-floor", func(b *testing.B) { floor(b, tree) })
+	b.Run("accept-query", func(b *testing.B) { served(b, "tree", 0) })
+	b.Run("reject-floor", func(b *testing.B) { floor(b, gnm) })
+	b.Run("reject-query", func(b *testing.B) { served(b, "gnm", 4*n) })
+
+	b.Run("cached-query-parallel", func(b *testing.B) {
+		s := NewServer(Options{MaxInstances: 4})
+		defer s.Close()
+		req := func(seed uint64) *QueryRequest {
+			return &QueryRequest{
+				Graph: GraphRequest{Family: "gnm", N: n, M: 4 * n, Seed: 7},
+				K:     k, Reps: reps, Seed: seed,
+			}
+		}
+		if _, err := s.Query(context.Background(), req(1)); err != nil {
+			b.Fatal(err)
+		}
+		var seq atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				if _, err := s.Query(ctx, req(uint64(seq.Add(1)))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

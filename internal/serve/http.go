@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"cycledetect/internal/sweep"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query  — one tester/detector run; JSON in, JSON out.
+//	POST /sweep  — a declarative sweep spec; rows stream back as JSON
+//	               lines, or as SSE when the client asks for
+//	               text/event-stream (Accept header or ?format=sse).
+//	GET  /stats  — cache hit rates, in-flight counts, pool occupancy.
+//	GET  /healthz — liveness probe.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// httpError is the uniform error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: parsing request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Query(r.Context(), &req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is for logs only.
+			httpError(w, http.StatusRequestTimeout, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSweep streams a sweep's rows incrementally. The connection IS the
+// result stream, so errors after the first row surface as a terminal
+// "error" event rather than an HTTP status.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, warn := range spec.Warnings() {
+		log.Printf("serve: sweep %q: %s", spec.Name, warn)
+	}
+
+	sse := r.URL.Query().Get("format") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	sink := sweep.NewHTTPSink(w, sse)
+	w.Header().Set("Content-Type", sink.ContentType())
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
+	w.WriteHeader(http.StatusOK)
+
+	sum, err := s.RunSweep(&spec, sink)
+	if derr := sink.Done(sum, err); derr != nil && err == nil {
+		log.Printf("serve: sweep %q: stream close: %v", spec.Name, derr)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

@@ -1,0 +1,560 @@
+// Package serve is the query-serving layer over the CONGEST simulator: a
+// Server multiplexes many concurrent tester/detector queries over a small
+// set of cached, immutable compiled networks.
+//
+// The paper makes a single query cheap — "is this graph ε-far from
+// Ck-free?" costs O(1/ε) CONGEST rounds, independent of the graph size —
+// so at serving scale the dominant cost is everything around the run:
+// building the graph, validating IDs, compiling the port topology, and
+// spawning an engine. The Server amortizes all of it with two levels of
+// reuse, both enabled by the internal/network Compiled/Instance split:
+//
+//   - an LRU cache of network.Compiled cores keyed by canonical graph
+//     fingerprint, so the immutable O(m) part — graph and topology — is
+//     compiled once per distinct graph and shared, zero-copy, by every
+//     query that names it;
+//   - per (graph, engine) pools of warm network.Instances, so the mutable
+//     per-run slab (nodes, coins, stats, engine goroutines) is recycled
+//     across queries instead of rebuilt — a cache-hit query runs within a
+//     small constant of the reused-RunProgram allocation floor
+//     (BenchmarkServeConcurrent).
+//
+// Concurrency: Instances attached to one Compiled are independent, so N
+// queries over one cached graph run genuinely in parallel while reading
+// one shared topology. Results are deterministic per (graph, program,
+// seed) — identical to a fresh sequential run, whatever the interleaving.
+//
+// The HTTP surface (see Handler) is POST /query for single runs, POST
+// /sweep for declarative parameter sweeps streamed row-by-row (SSE or JSON
+// lines via sweep.HTTPSink), and GET /stats for cache and in-flight
+// counters.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
+	"cycledetect/internal/sweep"
+)
+
+// Options configures a Server. The zero value serves with the defaults
+// noted on each field.
+type Options struct {
+	// MaxGraphs caps the LRU cache of compiled networks (default 8).
+	// Evicting a graph closes its idle instances; in-flight queries on an
+	// evicted graph finish normally and their instances are then released
+	// for good.
+	MaxGraphs int
+	// MaxInstances caps the warm-instance pool per (graph, engine) —
+	// equivalently, the number of queries that can run concurrently over
+	// one cached graph on one engine (default GOMAXPROCS). Excess queries
+	// wait for a free instance (or their deadline).
+	MaxInstances int
+	// QueryTimeout bounds one query end to end, including the wait for a
+	// free instance (default 30s; negative disables). A timed-out query
+	// returns 504; its instance rejoins the pool when the abandoned run
+	// finishes.
+	QueryTimeout time.Duration
+	// NetworkWorkers is the BSP pool width of each instance (default 1:
+	// serving parallelism comes from concurrent queries, not from
+	// intra-run workers).
+	NetworkWorkers int
+	// BandwidthBits, if positive, compiles a hard per-message budget into
+	// every cached network.
+	BandwidthBits int
+	// SweepWorkers caps the scheduler workers of /sweep requests (default
+	// GOMAXPROCS; a spec asking for more is clamped).
+	SweepWorkers int
+}
+
+// defaultQueryTimeout bounds queries when Options.QueryTimeout is zero.
+const defaultQueryTimeout = 30 * time.Second
+
+func (o Options) maxGraphs() int {
+	if o.MaxGraphs > 0 {
+		return o.MaxGraphs
+	}
+	return 8
+}
+
+func (o Options) maxInstances() int {
+	if o.MaxInstances > 0 {
+		return o.MaxInstances
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queryTimeout() time.Duration {
+	if o.QueryTimeout < 0 {
+		return 0
+	}
+	if o.QueryTimeout == 0 {
+		return defaultQueryTimeout
+	}
+	return o.QueryTimeout
+}
+
+func (o Options) networkWorkers() int {
+	if o.NetworkWorkers > 0 {
+		return o.NetworkWorkers
+	}
+	return 1
+}
+
+func (o Options) sweepWorkers() int {
+	if o.SweepWorkers > 0 {
+		return o.SweepWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Server serves tester queries over cached compiled networks. Create with
+// NewServer, expose with Handler (or call Query directly), release with
+// Close. All methods are safe for concurrent use.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // of *entry; front = most recently used
+	closed  bool
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	timeouts  atomic.Int64
+	failures  atomic.Int64
+	sweeps    atomic.Int64
+	inFlight  atomic.Int64
+}
+
+// entry is one cached graph: its immutable compiled core plus the warm
+// instance pools attached to it, one per engine.
+type entry struct {
+	key      string
+	elem     *list.Element
+	g        *graph.Graph
+	compiled *network.Compiled
+	pools    map[network.Engine]*instPool
+	evicted  bool
+}
+
+// instPool is the bounded pool of warm instances for one (graph, engine):
+// idle holds parked workers; spawned counts idle + in-flight ones and is
+// guarded by Server.mu.
+type instPool struct {
+	idle    chan *worker
+	spawned int
+}
+
+// worker is a warm instance plus everything reused across the queries it
+// serves: the cached Program values (so consecutive same-parameter queries
+// hit the ReusableNode fast path) and the completion channel of the
+// run-with-deadline handoff.
+type worker struct {
+	inst   *network.Instance
+	tester *core.Tester
+	det    *core.EdgeDetector
+	done   chan queryOutcome
+
+	// Per-run inputs/outputs, set before the goroutine handoff.
+	prog network.Program
+	seed uint64
+	reps int // Repetitions() of a tester prog; 0 for detectors
+}
+
+type queryOutcome struct {
+	resp *QueryResponse
+	err  error
+}
+
+// NewServer returns a Server with the given options.
+func NewServer(opts Options) *Server {
+	return &Server{
+		opts:    opts,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Close evicts every cached graph and closes all idle instances. In-flight
+// queries finish; their instances are closed on release. Further queries
+// fail.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, e := range s.entries {
+		s.evictLocked(e)
+	}
+	s.entries = map[string]*entry{}
+	s.lru.Init()
+}
+
+// evictLocked marks e evicted, closes its idle instances, and closes the
+// idle channels so queries blocked waiting for a free instance wake
+// immediately (they retry against the live cache instead of sleeping out
+// their deadline against a dead pool). Callers hold s.mu; release never
+// sends on an evicted pool's channel (it checks e.evicted under the same
+// lock), so the close is safe.
+func (s *Server) evictLocked(e *entry) {
+	e.evicted = true
+	for _, p := range e.pools {
+		for {
+			select {
+			case w := <-p.idle:
+				p.spawned--
+				w.inst.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+		close(p.idle)
+	}
+}
+
+// lookup returns the cache entry for key, compiling (via build) on a miss.
+// The graph build and compile run outside the lock, so a slow generator
+// stalls only the queries that need it; a concurrent duplicate build loses
+// the insert race and is dropped.
+func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("serve: server closed")
+	}
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return e, true, nil
+	}
+	s.mu.Unlock()
+
+	g, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	compiled, err := network.Compile(g, network.CompileOptions{BandwidthBits: s.opts.BandwidthBits})
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("serve: server closed")
+	}
+	if e, ok := s.entries[key]; ok { // lost the build race: reuse the winner
+		s.lru.MoveToFront(e.elem)
+		return e, true, nil
+	}
+	e := &entry{key: key, g: g, compiled: compiled, pools: map[network.Engine]*instPool{}}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for s.lru.Len() > s.opts.maxGraphs() {
+		victim := s.lru.Back().Value.(*entry)
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.key)
+		s.evictLocked(victim)
+		s.evictions.Add(1)
+	}
+	return e, false, nil
+}
+
+// errEvicted reports that an entry was LRU-evicted between lookup and a
+// successful instance checkout; the caller re-looks-up and retries against
+// the live cache.
+var errEvicted = errors.New("serve: cache entry evicted")
+
+// acquire checks a warm worker out of e's pool for the given engine,
+// creating one if the pool is below its cap, or waiting (bounded by ctx)
+// for an in-flight query to release one. It returns errEvicted when e was
+// evicted before or while waiting — the pool is dead, so waiting on it
+// would only burn the caller's deadline.
+func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (*worker, error) {
+	s.mu.Lock()
+	if e.evicted {
+		s.mu.Unlock()
+		return nil, errEvicted
+	}
+	p, ok := e.pools[engine]
+	if !ok {
+		p = &instPool{idle: make(chan *worker, s.opts.maxInstances())}
+		e.pools[engine] = p
+	}
+	select {
+	case w := <-p.idle: // non-nil: the channel only closes after eviction, checked above
+		s.mu.Unlock()
+		return w, nil
+	default:
+	}
+	if p.spawned < s.opts.maxInstances() {
+		p.spawned++
+		s.mu.Unlock()
+		inst, err := e.compiled.NewInstance(network.InstanceOptions{
+			Engine:  engine,
+			Workers: s.opts.networkWorkers(),
+		})
+		if err != nil {
+			s.mu.Lock()
+			p.spawned--
+			s.mu.Unlock()
+			return nil, err
+		}
+		return &worker{inst: inst, done: make(chan queryOutcome, 1)}, nil
+	}
+	s.mu.Unlock()
+	select {
+	case w, ok := <-p.idle:
+		if !ok { // pool closed by eviction while waiting
+			return nil, errEvicted
+		}
+		return w, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns w to e's pool — or closes it when the entry was evicted
+// (or the server closed) while the query ran. The idle send happens under
+// s.mu, mutually exclusive with evictLocked: the evicted check and the
+// send are one atomic step, so a worker can never be parked in (or sent
+// on) a drained, closed pool. The channel's capacity equals the spawn
+// cap, so the send never blocks while holding the lock.
+func (s *Server) release(e *entry, engine network.Engine, w *worker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := e.pools[engine]
+	if e.evicted || s.closed {
+		p.spawned--
+		w.inst.Close()
+		return
+	}
+	p.idle <- w
+}
+
+// Query answers one tester/detector query, reusing the cached compiled
+// network and a pooled warm instance when possible. It is the transport-
+// independent core of POST /query (and what BenchmarkServeConcurrent
+// measures); ctx bounds the whole query including the wait for a free
+// instance. Safe for concurrent use.
+func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	s.queries.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	start := time.Now()
+	if to := s.opts.queryTimeout(); to > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+
+	key, build, engine, err := req.resolve()
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	// Lookup and checkout retry when the entry is LRU-evicted in between
+	// (or while waiting for a free instance — eviction closes the pool and
+	// wakes waiters): the next lookup re-compiles into a live entry. The
+	// loop is bounded by ctx, which every acquire wait observes.
+	var (
+		e   *entry
+		hit bool
+		w   *worker
+	)
+	for {
+		e, hit, err = s.lookup(key, build)
+		if err != nil {
+			s.failures.Add(1)
+			return nil, err
+		}
+		if hit {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+		w, err = s.acquire(ctx, e, engine)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errEvicted) && ctx.Err() == nil {
+			continue
+		}
+		s.countQueryErr(ctx, err)
+		return nil, err
+	}
+	w.arm(req)
+	w.seed = req.Seed
+
+	// The run cannot be interrupted, so the deadline is enforced on the
+	// wait: an abandoned run keeps its worker out of the pool until it
+	// finishes, then releases it warm for the next query.
+	go w.run()
+	select {
+	case out := <-w.done:
+		s.release(e, engine, w)
+		if out.err != nil {
+			s.failures.Add(1)
+			return nil, out.err
+		}
+		out.resp.Cache = "miss"
+		if hit {
+			out.resp.Cache = "hit"
+		}
+		out.resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		return out.resp, nil
+	case <-ctx.Done():
+		s.countQueryErr(ctx, ctx.Err())
+		go func() {
+			<-w.done
+			s.release(e, engine, w)
+		}()
+		verb := "canceled"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			verb = "deadline exceeded"
+		}
+		return nil, fmt.Errorf("serve: query %s after %v: %w", verb, time.Since(start).Round(time.Millisecond), ctx.Err())
+	}
+}
+
+// countQueryErr attributes a failed query to the right counter: timeouts
+// for a blown deadline, nothing for a client cancellation (the server did
+// nothing wrong and the operator sizing QueryTimeout must not see phantom
+// timeouts), failures for everything else.
+func (s *Server) countQueryErr(ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+	default:
+		s.failures.Add(1)
+	}
+}
+
+// arm binds the request's program to the worker, reusing the previous
+// Program value when the parameters match — the condition for the
+// instance's ReusableNode fast path, which is what keeps repeated cache-hit
+// queries near the reused-RunProgram allocation floor.
+func (w *worker) arm(req *QueryRequest) {
+	mode := core.ModePruned
+	if req.Naive {
+		mode = core.ModeNaive
+	}
+	if req.Op == OpDetect {
+		if w.det == nil || w.det.K != req.K || w.det.U != req.Edge[0] || w.det.V != req.Edge[1] || w.det.Mode != mode {
+			w.det = &core.EdgeDetector{K: req.K, U: req.Edge[0], V: req.Edge[1], Mode: mode}
+		}
+		w.prog, w.reps = w.det, 0
+		return
+	}
+	if w.tester == nil || w.tester.K != req.K || w.tester.Eps != req.Eps || w.tester.Reps != req.Reps || w.tester.Mode != mode {
+		w.tester = &core.Tester{K: req.K, Eps: req.Eps, Reps: req.Reps, Mode: mode}
+	}
+	w.prog, w.reps = w.tester, w.tester.Repetitions()
+}
+
+// run executes the armed program and summarizes into a response. It runs
+// in its own goroutine so the caller can abandon a run at deadline; the
+// summary happens here, before release, because the instance's Result is
+// overwritten by its next run.
+func (w *worker) run() {
+	res, err := w.inst.RunProgram(w.prog, w.seed)
+	if err != nil {
+		w.done <- queryOutcome{err: err}
+		return
+	}
+	dec := core.Summarize(res.Outputs, res.IDs)
+	g := w.inst.Graph()
+	w.done <- queryOutcome{resp: &QueryResponse{
+		Rejected:       dec.Reject,
+		RejectingIDs:   dec.RejectingIDs,
+		Witness:        dec.Witness,
+		N:              g.N(),
+		M:              g.M(),
+		Rounds:         res.Stats.Rounds,
+		Repetitions:    w.reps,
+		Messages:       res.Stats.MessagesSent,
+		TotalBits:      res.Stats.TotalBits,
+		MaxMessageBits: res.Stats.MaxMessageBits,
+		MaxSeqs:        dec.MaxSeqs,
+	}}
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	GraphsCached  int   `json:"graphs_cached"`
+	InstancesIdle int   `json:"instances_idle"`
+	InstancesLive int   `json:"instances_live"` // idle + in-flight
+	Queries       int64 `json:"queries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Timeouts      int64 `json:"timeouts"`
+	Failures      int64 `json:"failures"`
+	Sweeps        int64 `json:"sweeps"`
+	InFlight      int64 `json:"in_flight"`
+	// HitRate is Hits / (Hits + Misses), 0 before the first query.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats returns a snapshot of the cache and traffic counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries:   s.queries.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Timeouts:  s.timeouts.Load(),
+		Failures:  s.failures.Load(),
+		Sweeps:    s.sweeps.Load(),
+		InFlight:  s.inFlight.Load(),
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	s.mu.Lock()
+	st.GraphsCached = len(s.entries)
+	for _, e := range s.entries {
+		for _, p := range e.pools {
+			st.InstancesIdle += len(p.idle)
+			st.InstancesLive += p.spawned
+		}
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// RunSweep validates and executes a declarative sweep spec, streaming rows
+// to the sinks (the transport-independent core of POST /sweep). The spec's
+// worker count is clamped to Options.SweepWorkers; advisory warnings (for
+// example a k beyond the calibrated representative-selection range) are
+// returned alongside validation so callers can surface them before rows
+// flow.
+func (s *Server) RunSweep(spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
+	s.sweeps.Add(1)
+	if err := spec.Validate(); err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	if cap := s.opts.sweepWorkers(); spec.Workers <= 0 || spec.Workers > cap {
+		spec.Workers = cap
+	}
+	sum, err := sweep.Run(spec, sinks...)
+	if err != nil {
+		s.failures.Add(1)
+	}
+	return sum, err
+}

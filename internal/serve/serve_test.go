@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/sweep"
+)
+
+// freshDecision runs the same query as a one-shot congest run and
+// summarizes it — the ground truth a served query must reproduce exactly.
+func freshDecision(t *testing.T, g *graph.Graph, engine congest.Engine, k, reps int, eps float64, seed uint64) core.Decision {
+	t.Helper()
+	res, err := congest.RunWith(engine, g, &core.Tester{K: k, Eps: eps, Reps: reps}, congest.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Summarize(res.Outputs, res.IDs)
+}
+
+func TestQueryMatchesFreshRun(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	// The family form must build the identical graph the sweep layer
+	// builds for the same spec and seed.
+	gs := sweep.GraphSpec{Family: "gnm", N: 64, M: 256}
+	g, err := sweep.BuildGraph(gs, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			resp, err := s.Query(context.Background(), &QueryRequest{
+				Graph: GraphRequest{Family: "gnm", N: 64, M: 256, Seed: 3},
+				K:     5, Eps: 0.1, Seed: seed,
+				Engine: string(engine),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := freshDecision(t, g, engine, 5, 0, 0.1, seed)
+			if resp.Rejected != want.Reject ||
+				!reflect.DeepEqual(resp.RejectingIDs, want.RejectingIDs) ||
+				!reflect.DeepEqual(resp.Witness, want.Witness) ||
+				resp.MaxSeqs != want.MaxSeqs {
+				t.Fatalf("engine %s seed %d: served verdict differs from fresh run:\n got  %+v\n want %+v",
+					engine, seed, resp, want)
+			}
+			if resp.N != g.N() || resp.M != g.M() {
+				t.Fatalf("graph dims: got n=%d m=%d, want n=%d m=%d", resp.N, resp.M, g.N(), g.M())
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != st.Queries-1 {
+		t.Fatalf("one compile should serve all queries: %+v", st)
+	}
+}
+
+// TestConcurrentQueriesDeterministic is the serving-layer version of the
+// network concurrency contract: many clients, one cached graph, distinct
+// seeds — every response identical to a sequential fresh run.
+func TestConcurrentQueriesDeterministic(t *testing.T) {
+	s := NewServer(Options{MaxInstances: 4})
+	defer s.Close()
+	g, err := sweep.BuildGraph(sweep.GraphSpec{Family: "gnm", N: 48, M: 192}, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 24
+	want := make([]core.Decision, seeds)
+	for i := range want {
+		want[i] = freshDecision(t, g, congest.EngineBSP, 5, 2, 0, uint64(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Query(context.Background(), &QueryRequest{
+				Graph: GraphRequest{Family: "gnm", N: 48, M: 192, Seed: 9},
+				K:     5, Reps: 2, Seed: uint64(i),
+			})
+			if err != nil {
+				t.Errorf("seed %d: %v", i, err)
+				return
+			}
+			if resp.Rejected != want[i].Reject ||
+				!reflect.DeepEqual(resp.RejectingIDs, want[i].RejectingIDs) ||
+				!reflect.DeepEqual(resp.Witness, want[i].Witness) {
+				t.Errorf("seed %d: concurrent served verdict differs from sequential fresh run", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.InstancesLive > 4 {
+		t.Fatalf("instance pool exceeded its cap: %+v", st)
+	}
+}
+
+func TestDetectQuery(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	// C6 with a pendant edge, explicit form; the detector must certify the
+	// cycle through {0,1}.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {2, 6}}
+	resp, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{N: 7, Edges: edges},
+		Op:    OpDetect, K: 6, Edge: &[2]int64{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Rejected || len(resp.Witness) != 6 {
+		t.Fatalf("detector missed the C6: %+v", resp)
+	}
+	if resp.Rounds != 3 { // exactly ⌊k/2⌋
+		t.Fatalf("detector rounds: got %d, want 3", resp.Rounds)
+	}
+
+	// The same edge set in a different order must hit the same cache entry
+	// (canonical fingerprint keying).
+	perm := [][2]int{{2, 6}, {5, 0}, {4, 5}, {3, 4}, {1, 2}, {2, 3}, {1, 0}}
+	if _, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{N: 7, Edges: perm},
+		Op:    OpDetect, K: 6, Edge: &[2]int64{0, 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("fingerprint keying should dedupe permuted edge lists: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := NewServer(Options{MaxGraphs: 2})
+	defer s.Close()
+	query := func(n int) {
+		t.Helper()
+		if _, err := s.Query(context.Background(), &QueryRequest{
+			Graph: GraphRequest{Family: "cycle", N: n},
+			K:     5, Reps: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query(10)
+	query(11)
+	query(12) // evicts cycle(10)
+	st := s.Stats()
+	if st.GraphsCached != 2 || st.Evictions != 1 {
+		t.Fatalf("LRU bookkeeping: %+v", st)
+	}
+	query(10) // re-miss
+	if st := s.Stats(); st.Misses != 4 {
+		t.Fatalf("evicted graph should re-compile: %+v", st)
+	}
+}
+
+// TestEvictionWakesWaitersAndQueriesSurvive drives the cache-churn race:
+// queries on a graph whose entry gets LRU-evicted mid-flight (including
+// waiters blocked on the instance pool) must still succeed by retrying
+// against the re-compiled entry — not sleep out their deadline against the
+// dead pool — and no instance may leak into an evicted pool (Close catches
+// a leak as a spawned-count mismatch; -race catches the rest).
+func TestEvictionWakesWaitersAndQueriesSurvive(t *testing.T) {
+	s := NewServer(Options{MaxGraphs: 1, MaxInstances: 1})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				// Two distinct graphs fighting over one cache slot: every
+				// miss evicts the other graph, while its queries are in
+				// flight or waiting on its (capacity-1) pool.
+				n := 10 + c%2
+				if _, err := s.Query(context.Background(), &QueryRequest{
+					Graph: GraphRequest{Family: "cycle", N: n},
+					K:     5, Reps: 2, Seed: uint64(i),
+				}); err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Failures != 0 || st.Timeouts != 0 {
+		t.Fatalf("churned queries should all succeed: %+v", st)
+	}
+	if st.GraphsCached != 1 {
+		t.Fatalf("cache must hold exactly MaxGraphs entries: %+v", st)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	s := NewServer(Options{QueryTimeout: time.Millisecond, MaxInstances: 1})
+	defer s.Close()
+	_, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{Family: "gnm", N: 128, M: 512, Seed: 1},
+		K:     7, Reps: 1500, Seed: 1, // far beyond a millisecond of rounds
+	})
+	if err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	if st := s.Stats(); st.Timeouts != 1 {
+		t.Fatalf("timeout not counted: %+v", st)
+	}
+	// The abandoned run must eventually return its instance to the pool.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := s.Stats(); st.InstancesIdle == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned instance never released: %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	bad := []QueryRequest{
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 2, Eps: 0.1},                    // k too small
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 4},                              // no eps, no reps
+		{Graph: GraphRequest{Family: "nope", N: 16}, K: 4, Eps: 0.1},                   // unknown family
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 4, Eps: 0.1, Op: "zap"},         // unknown op
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 4, Eps: 0.1, Op: OpDetect},      // detect without edge
+		{Graph: GraphRequest{N: 4, Edges: [][2]int{{0, 1}, {2, 3}}}, K: 4, Eps: 0.1},   // disconnected
+		{Graph: GraphRequest{}, K: 4, Eps: 0.1},                                        // no graph at all
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 4, Eps: 0.1, Engine: "quantum"}, // unknown engine
+		{Graph: GraphRequest{Family: "gnm", N: 16}, K: 4, Eps: 0.1, Op: OpDetect,
+			Edge: &[2]int64{5, 5}}, // detect with equal endpoints (matches DetectThroughEdge)
+	}
+	for i, req := range bad {
+		if _, err := s.Query(context.Background(), &req); err == nil {
+			t.Errorf("case %d: bad request accepted", i)
+		}
+	}
+}
+
+// --- HTTP surface ---
+
+func TestHTTPQueryAndStats(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"graph":{"family":"gnm","n":64,"m":256,"seed":3},"k":5,"eps":0.1,"seed":2}`
+	var first QueryResponse
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		wantCache := "miss"
+		if i == 1 {
+			wantCache = "hit"
+			if qr.Rejected != first.Rejected || !reflect.DeepEqual(qr.Witness, first.Witness) {
+				t.Fatalf("identical query gave a different verdict on the cache hit")
+			}
+		}
+		if qr.Cache != wantCache {
+			t.Fatalf("query %d: cache=%q, want %q", i, qr.Cache, wantCache)
+		}
+		first = qr
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats over HTTP: %+v", st)
+	}
+
+	// Malformed and unknown-field payloads are 400s, not 500s.
+	for _, bad := range []string{`{`, `{"bogus_field":1}`} {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("payload %q: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPSweepStreams(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := `{"graphs":[{"family":"cycle","n":12}],"k":[5,7],"eps":[0.2],"trials":3,"seed":1}`
+
+	t.Run("jsonl", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 3 { // 2 rows + summary
+			t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+		}
+		var row sweep.Result
+		if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+			t.Fatal(err)
+		}
+		if row.K != 5 || row.Trials != 3 {
+			t.Fatalf("first row: %+v", row)
+		}
+		if !strings.Contains(lines[2], `"event":"summary"`) {
+			t.Fatalf("missing summary tail: %s", lines[2])
+		}
+	})
+
+	t.Run("sse", func(t *testing.T) {
+		req, _ := http.NewRequest("POST", ts.URL+"/sweep", strings.NewReader(spec))
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("content type %q", ct)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		out := buf.String()
+		if n := strings.Count(out, "event: row\n"); n != 2 {
+			t.Fatalf("got %d row events, want 2:\n%s", n, out)
+		}
+		if !strings.Contains(out, "event: summary\n") {
+			t.Fatalf("missing summary event:\n%s", out)
+		}
+	})
+
+	t.Run("invalid-spec", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(`{"graphs":[],"k":[5],"eps":[0.2],"trials":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+func TestServerClosed(t *testing.T) {
+	s := NewServer(Options{})
+	s.Close()
+	if _, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{Family: "cycle", N: 9}, K: 5, Reps: 1,
+	}); err == nil {
+		t.Fatal("closed server accepted a query")
+	}
+}
+
+// TestWarningsSurfaceOnBigK pins the combin q-cap advisory end to end: a
+// sweep spec with k past the calibrated range validates but warns.
+func TestWarningsSurfaceOnBigK(t *testing.T) {
+	spec := sweep.Spec{
+		Graphs: []sweep.GraphSpec{{Family: "cycle", N: 16}},
+		K:      []int{5, 11},
+		Eps:    []float64{0.2},
+		Trials: 1,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws := spec.Warnings()
+	if len(ws) != 1 || !strings.Contains(ws[0], "k=11") {
+		t.Fatalf("warnings: %v", ws)
+	}
+}

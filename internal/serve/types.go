@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
+	"cycledetect/internal/sweep"
+)
+
+// Query operations.
+const (
+	// OpTest runs the full randomized Ck-freeness tester (the default).
+	OpTest = "test"
+	// OpDetect runs the deterministic Phase-2 detector for one candidate
+	// edge (QueryRequest.Edge, as node IDs).
+	OpDetect = "detect"
+)
+
+// GraphRequest names the graph a query runs on — either a generated family
+// (the sweep.GraphSpec vocabulary plus a generator seed) or an explicit
+// edge list. Family graphs are cached under a key derived from the spec
+// alone, so a cache hit never rebuilds the graph; explicit graphs are
+// cached under their canonical fingerprint, so the same edge set sent by
+// different clients (in any order) shares one compiled network.
+type GraphRequest struct {
+	// Family is one of "gnm", "far", "tree", "cycle", "complete" (see
+	// sweep.GraphSpec). Leave empty when giving Edges.
+	Family string `json:"family,omitempty"`
+	// N is the vertex count (both forms).
+	N int `json:"n"`
+	// M is the edge count (gnm only; defaults to 4n).
+	M int `json:"m,omitempty"`
+	// Seed seeds the generator (family form only). Distinct seeds are
+	// distinct cache entries.
+	Seed uint64 `json:"seed,omitempty"`
+	// Edges lists the graph explicitly as vertex pairs in [0, N).
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// QueryRequest is one tester/detector query.
+type QueryRequest struct {
+	Graph GraphRequest `json:"graph"`
+	// Op is "test" (default) or "detect".
+	Op string `json:"op,omitempty"`
+	// K is the cycle length (>= 3).
+	K int `json:"k"`
+	// Eps is the property-testing parameter in (0,1); required for "test"
+	// unless Reps is given. The "far" graph family also reads it.
+	Eps float64 `json:"eps,omitempty"`
+	// Reps overrides the ⌈(e²/ε)ln3⌉ repetition count (test only).
+	Reps int `json:"reps,omitempty"`
+	// Seed seeds the run's coin streams; runs are deterministic per seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Engine is "bsp" (default) or "channels".
+	Engine string `json:"engine,omitempty"`
+	// Edge is the detector's candidate edge as two node IDs (detect only).
+	Edge *[2]int64 `json:"edge,omitempty"`
+	// Naive disables Phase-2 pruning (ablation).
+	Naive bool `json:"naive,omitempty"`
+}
+
+// QueryResponse reports one query's outcome plus serving metadata.
+type QueryResponse struct {
+	Rejected       bool    `json:"rejected"`
+	RejectingIDs   []int64 `json:"rejecting_ids,omitempty"`
+	Witness        []int64 `json:"witness,omitempty"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Rounds         int     `json:"rounds"`
+	Repetitions    int     `json:"repetitions,omitempty"`
+	Messages       int64   `json:"messages"`
+	TotalBits      int64   `json:"total_bits"`
+	MaxMessageBits int     `json:"max_message_bits"`
+	MaxSeqs        int     `json:"max_seqs"`
+	// Cache is "hit" when the compiled network was already cached.
+	Cache string `json:"cache"`
+	// ElapsedMS is the server-side wall time of the query.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// resolve validates the request and returns the cache key, a graph builder
+// for misses, and the engine. Family keys are computed without building the
+// graph (hits skip construction entirely); explicit edge lists are built
+// eagerly and keyed by canonical fingerprint.
+func (req *QueryRequest) resolve() (key string, build func() (*graph.Graph, error), engine network.Engine, err error) {
+	switch req.Op {
+	case "", OpTest:
+		req.Op = OpTest
+	case OpDetect:
+		if req.Edge == nil {
+			return "", nil, "", fmt.Errorf("serve: op %q needs \"edge\": [u, v]", OpDetect)
+		}
+		if req.Edge[0] == req.Edge[1] {
+			return "", nil, "", fmt.Errorf("serve: candidate edge endpoints equal (%d)", req.Edge[0])
+		}
+	default:
+		return "", nil, "", fmt.Errorf("serve: unknown op %q (want %q or %q)", req.Op, OpTest, OpDetect)
+	}
+	if req.K < 3 {
+		return "", nil, "", fmt.Errorf("serve: k must be at least 3, got %d", req.K)
+	}
+	if req.Op == OpTest && req.Reps <= 0 && (req.Eps <= 0 || req.Eps >= 1) {
+		return "", nil, "", fmt.Errorf("serve: eps %v outside (0,1) and no reps given", req.Eps)
+	}
+	if req.Reps < 0 {
+		return "", nil, "", fmt.Errorf("serve: negative reps %d", req.Reps)
+	}
+	switch network.Engine(req.Engine) {
+	case network.EngineBSP, network.EngineChannels, "":
+		engine = network.Engine(req.Engine)
+		if engine == "" {
+			engine = network.EngineBSP
+		}
+	default:
+		return "", nil, "", fmt.Errorf("serve: unknown engine %q", req.Engine)
+	}
+
+	gr := req.Graph
+	switch {
+	case gr.Family != "" && len(gr.Edges) > 0:
+		return "", nil, "", fmt.Errorf("serve: graph gives both a family and explicit edges")
+	case gr.Family != "":
+		switch gr.Family {
+		case "gnm", "far", "tree", "cycle", "complete":
+		default:
+			return "", nil, "", fmt.Errorf("serve: unknown graph family %q", gr.Family)
+		}
+		if gr.N < 2 {
+			return "", nil, "", fmt.Errorf("serve: graph %s(n=%d) needs n >= 2", gr.Family, gr.N)
+		}
+		gs := sweep.GraphSpec{Family: gr.Family, N: gr.N, M: gr.M}
+		key = familyKey(gs, req.K, req.Eps, gr.Seed)
+		k, eps, seed := req.K, req.Eps, gr.Seed
+		build = func() (*graph.Graph, error) { return sweep.BuildGraph(gs, k, eps, seed) }
+	case len(gr.Edges) > 0:
+		g, err := buildExplicit(gr.N, gr.Edges)
+		if err != nil {
+			return "", nil, "", err
+		}
+		key = "fp:" + g.Fingerprint()
+		build = func() (*graph.Graph, error) { return g, nil }
+	default:
+		return "", nil, "", fmt.Errorf("serve: graph needs a family or an edge list")
+	}
+	return key, build, engine, nil
+}
+
+// familyKey is the cache key of a generated graph. Only the "far" family
+// depends on (k, eps) — mirroring sweep's graph keying — so tester queries
+// with different parameters share the same cached gnm/tree/cycle/complete
+// graph.
+func familyKey(gs sweep.GraphSpec, k int, eps float64, seed uint64) string {
+	var b strings.Builder
+	b.WriteString(gs.Family)
+	b.WriteString("/n=")
+	b.WriteString(strconv.Itoa(gs.N))
+	if gs.M > 0 {
+		b.WriteString("/m=")
+		b.WriteString(strconv.Itoa(gs.M))
+	}
+	b.WriteString("/seed=")
+	b.WriteString(strconv.FormatUint(seed, 10))
+	if gs.Family == "far" {
+		fmt.Fprintf(&b, "/k=%d/eps=%g", k, eps)
+	}
+	return b.String()
+}
+
+// buildExplicit constructs a graph from an explicit edge list.
+func buildExplicit(n int, edges [][2]int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: explicit graph needs \"n\" >= 1, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("serve: self-loop at %d", e[0])
+		}
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			return nil, fmt.Errorf("serve: edge {%d,%d} out of range [0,%d)", e[0], e[1], n)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	if !graph.Connected(g) {
+		return nil, fmt.Errorf("serve: graph is not connected (the CONGEST model requires a connected network)")
+	}
+	return g, nil
+}

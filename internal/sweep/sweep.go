@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"cycledetect/internal/combin"
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
 	"cycledetect/internal/graph"
@@ -190,6 +191,24 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// Warnings reports advisory problems with a valid spec — grid points that
+// will run but whose cost is known to be pathological. Today that is one
+// rule: k above combin.MaxCalibratedK puts the representative selection's
+// exponential hitting-set worst case in play (k=11 on dense graphs takes
+// minutes per trial; see combin.Representatives). Callers print these,
+// they never block a run.
+func (s *Spec) Warnings() []string {
+	var ws []string
+	for _, k := range s.K {
+		if k > combin.MaxCalibratedK {
+			ws = append(ws, fmt.Sprintf(
+				"sweep: k=%d exceeds the calibrated range (k <= %d): representative selection is exponential in q=k-t in the worst case and dense graphs can take minutes per trial (see internal/combin, BenchmarkRepresentatives)",
+				k, combin.MaxCalibratedK))
+		}
+	}
+	return ws
+}
+
 // Jobs expands the grid into runnable jobs, in deterministic order, and
 // reports how many grid points were skipped as not runnable.
 func (s *Spec) Jobs() (jobs []Job, skipped int) {
@@ -246,29 +265,38 @@ func keyFor(j Job) graphKey {
 }
 
 // buildGraph constructs the graph for a key, deterministically from the
-// sweep seed. Generator panics (infeasible parameters) are converted to
-// errors so a bad spec fails the sweep instead of crashing the process.
-func buildGraph(key graphKey, seed uint64) (g *graph.Graph, err error) {
+// sweep seed.
+func buildGraph(key graphKey, seed uint64) (*graph.Graph, error) {
+	return BuildGraph(key.gs, key.k, key.eps, seed)
+}
+
+// BuildGraph constructs the graph a GraphSpec names, deterministically from
+// seed (the same derivation the sweep scheduler uses, so a serving layer
+// that builds the same spec with the same seed caches the identical graph).
+// k and eps matter only to the "far" family and are ignored otherwise.
+// Generator panics (infeasible parameters) are converted to errors so a bad
+// spec fails the caller instead of crashing the process.
+func BuildGraph(gs GraphSpec, k int, eps float64, seed uint64) (g *graph.Graph, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("sweep: building %s: %v", key.gs, p)
+			err = fmt.Errorf("sweep: building %s: %v", gs, p)
 		}
 	}()
 	rng := xrand.New(xrand.Mix64(seed ^ 0x67726170685f6765)) // "graph_ge" salt: decouple from trial seeds
-	switch key.gs.Family {
+	switch gs.Family {
 	case "gnm":
-		return graph.ConnectedGNM(key.gs.N, key.gs.resolvedM(), rng), nil
+		return graph.ConnectedGNM(gs.N, gs.resolvedM(), rng), nil
 	case "far":
-		g, _ := graph.FarFromCkFree(key.gs.N, key.k, key.eps, rng)
+		g, _ := graph.FarFromCkFree(gs.N, k, eps, rng)
 		return g, nil
 	case "tree":
-		return graph.RandomTree(key.gs.N, rng), nil
+		return graph.RandomTree(gs.N, rng), nil
 	case "cycle":
-		return graph.Cycle(key.gs.N), nil
+		return graph.Cycle(gs.N), nil
 	case "complete":
-		return graph.Complete(key.gs.N), nil
+		return graph.Complete(gs.N), nil
 	}
-	return nil, fmt.Errorf("sweep: unknown graph family %q", key.gs.Family)
+	return nil, fmt.Errorf("sweep: unknown graph family %q", gs.Family)
 }
 
 // trialSeed derives the coin-stream seed of one trial. It depends only on

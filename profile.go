@@ -1,6 +1,11 @@
 package cycledetect
 
-import "fmt"
+import (
+	"fmt"
+
+	"cycledetect/internal/core"
+	"cycledetect/internal/network"
+)
 
 // CycleProfile is the per-k outcome of ProfileCycles.
 type CycleProfile struct {
@@ -16,22 +21,41 @@ type CycleProfile struct {
 // absence.
 //
 // The runs are independent; total rounds are the sum over k, still
-// independent of the network size.
+// independent of the network size. Internally the probe compiles the
+// network ONCE and reuses it for every k (this is the hot-path shape the
+// reusable-network layer exists for: per-k results are byte-identical to
+// per-k Test calls, without re-paying topology and engine construction
+// kmax−2 times).
 func ProfileCycles(g *Graph, kmax int, opts Options) ([]CycleProfile, error) {
 	if kmax < 3 {
 		return nil, fmt.Errorf("cycledetect: kmax must be at least 3, got %d", kmax)
 	}
+	probe := opts
+	probe.K = kmax
+	if err := validate(g, &probe, true); err != nil {
+		return nil, err
+	}
+	nw, err := network.New(g.build(), network.Options{
+		Engine:        opts.Engine,
+		IDs:           opts.IDs,
+		BandwidthBits: opts.BandwidthBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer nw.Close()
 	profiles := make([]CycleProfile, 0, kmax-2)
 	for k := 3; k <= kmax; k++ {
-		o := opts
-		o.K = k
-		// Derive per-k seeds so runs are independent but reproducible.
-		o.Seed = opts.Seed*1000003 + uint64(k)
-		res, err := Test(g, o)
+		prog := &core.Tester{K: k, Eps: opts.Epsilon, Reps: opts.Reps, Mode: opts.mode()}
+		// Derive per-k seeds so runs are independent but reproducible (the
+		// same derivation per-k Test calls used before network reuse).
+		res, err := nw.RunProgram(prog, opts.Seed*1000003+uint64(k))
 		if err != nil {
 			return nil, fmt.Errorf("cycledetect: k=%d: %w", k, err)
 		}
-		profiles = append(profiles, CycleProfile{K: k, Result: res})
+		out := summarize(res)
+		out.Repetitions = prog.Repetitions()
+		profiles = append(profiles, CycleProfile{K: k, Result: out})
 	}
 	return profiles, nil
 }
