@@ -7,6 +7,8 @@ package cycledetect
 // reproduction run.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -149,6 +151,121 @@ func BenchmarkNetworkReuse(b *testing.B) {
 					if _, err := nw.RunProgram(prog, s); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// cancelAtProg cancels its own run context from node 0's Send in round 1,
+// so BenchmarkCancelLatency measures the abort path in isolation.
+type cancelAtProg struct {
+	rounds int
+	cancel context.CancelFunc
+}
+
+func (p *cancelAtProg) Rounds(n, m int) int { return p.rounds }
+func (p *cancelAtProg) NewNode(info congest.NodeInfo) congest.Node {
+	return &cancelAtNode{p: p, id: info.ID}
+}
+
+type cancelAtNode struct {
+	p  *cancelAtProg
+	id congest.ID
+}
+
+func (cn *cancelAtNode) Send(round int, out [][]byte) {
+	if cn.id == 0 && round == 1 {
+		cn.p.cancel()
+	}
+}
+func (cn *cancelAtNode) Receive(int, [][]byte) {}
+func (cn *cancelAtNode) Output() any           { return nil }
+
+// BenchmarkCancelLatency is the rounds-to-abort benchmark: the program
+// cancels its own context in round 1 of a 4096-round run, so each
+// iteration prices the whole abort path — round-barrier detection, the
+// channels engine's stop-round agreement, failure-state bookkeeping, and
+// the node rebuild the next run pays — and NOT 4095 burned rounds. The
+// rounds-over-cancel metric reports how many rounds past the trigger the
+// engine executed before parking (the O(1)-round abort contract: 0 on the
+// BSP barrier, at most 1 on the drifting channels engine).
+func BenchmarkCancelLatency(b *testing.B) {
+	rng := xrand.New(11)
+	g := graph.ConnectedGNM(256, 1024, rng)
+	for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
+		b.Run(string(engine), func(b *testing.B) {
+			nw, err := network.New(g, network.Options{Engine: engine})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nw.Close()
+			prog := &cancelAtProg{rounds: 4096}
+			run := func(seed uint64) *network.ErrCanceled {
+				ctx, cancel := context.WithCancel(context.Background())
+				prog.cancel = cancel
+				_, err := nw.RunProgramCtx(ctx, prog, seed)
+				cancel()
+				var ce *network.ErrCanceled
+				if !errors.As(err, &ce) {
+					b.Fatalf("want ErrCanceled, got %v", err)
+				}
+				return ce
+			}
+			run(0) // warm the per-run slabs sized by the round count
+			var over float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ce := run(uint64(i) + 1)
+				over += float64(ce.Round - 1)
+			}
+			b.ReportMetric(over/float64(b.N), "rounds-over-cancel")
+		})
+	}
+}
+
+// BenchmarkCancelOverhead prices the cancellation hook on the steady-state
+// round loop: the same warm reused tester run with a never-cancellable
+// context (the polls compile away) versus a LIVE cancellable context (one
+// channel poll per BSP round; poll + one CAS per node round on channels).
+// Both variants must stay 0 allocs/op — the acceptance bar the alloc tests
+// pin and the bench gate enforces across snapshots.
+func BenchmarkCancelOverhead(b *testing.B) {
+	rng := xrand.New(12)
+	g := graph.RandomTree(256, rng) // accepting workload: 0-alloc steady state
+	const k, reps = 7, 8
+	for _, engine := range []congest.Engine{congest.EngineBSP, congest.EngineChannels} {
+		nw, err := network.New(g, network.Options{Engine: engine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nw.Close()
+		prog := &core.Tester{K: k, Reps: reps}
+		for s := uint64(0); s < 3; s++ { // warm arenas and the node cache
+			if _, err := nw.RunProgram(prog, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run("background-"+string(engine), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.RunProgram(prog, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("armed-"+string(engine), func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if _, err := nw.RunProgramCtx(ctx, prog, 0); err != nil {
+				b.Fatal(err) // warm ctx.Done's lazily allocated channel
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.RunProgramCtx(ctx, prog, uint64(i)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

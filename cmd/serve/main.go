@@ -3,7 +3,7 @@
 // networks, with warm per-graph instance pools (see internal/serve).
 //
 //	serve                         # listen on :8344
-//	serve -addr :9000 -max-graphs 16 -max-instances 8 -timeout 10s
+//	serve -addr :9000 -max-cache-bytes 67108864 -max-instances 8 -timeout 10s
 //
 // Example session:
 //
@@ -39,18 +39,20 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8344", "listen address")
-		maxGraphs    = flag.Int("max-graphs", 8, "LRU capacity: compiled networks kept cached")
-		maxInstances = flag.Int("max-instances", 0, "warm instances per (graph, engine); 0 = GOMAXPROCS")
-		timeout      = flag.Duration("timeout", 30*time.Second, "per-query deadline, including instance wait")
-		nwWorkers    = flag.Int("network-workers", 1, "BSP workers inside each instance")
-		bandwidth    = flag.Int("bandwidth-bits", 0, "per-message budget in bits (0 = unenforced)")
-		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr          = flag.String("addr", ":8344", "listen address")
+		maxGraphs     = flag.Int("max-graphs", 0, "cache capacity in entries (secondary guard; 0 = default 64, negative = unbounded)")
+		maxCacheBytes = flag.Int64("max-cache-bytes", 0, "cache capacity in compiled bytes (0 = default 256 MiB, negative = unbounded)")
+		maxInstances  = flag.Int("max-instances", 0, "server-wide live-instance budget, all graphs and engines; 0 = GOMAXPROCS")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-query deadline; a timed-out run is cancelled at its next round barrier")
+		nwWorkers     = flag.Int("network-workers", 1, "BSP workers inside each instance")
+		bandwidth     = flag.Int("bandwidth-bits", 0, "per-message budget in bits (0 = unenforced)")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Options{
 		MaxGraphs:      *maxGraphs,
+		MaxCacheBytes:  *maxCacheBytes,
 		MaxInstances:   *maxInstances,
 		QueryTimeout:   *timeout,
 		NetworkWorkers: *nwWorkers,

@@ -31,11 +31,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cycledetect/internal/sweep"
 )
@@ -110,7 +114,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	sum, err := sweep.Run(&spec, sink)
+	// SIGINT/SIGTERM cancel the sweep mid-trial (RunProgramCtx aborts the
+	// in-flight CONGEST runs at their next round barrier); rows already
+	// written stay on the output, so an interrupted sweep is a usable
+	// prefix, not a corrupt file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := sweep.RunCtx(ctx, &spec, nil, sink)
+	if errors.Is(err, context.Canceled) {
+		err = fmt.Errorf("sweep: interrupted (rows written so far are complete)")
+	}
 	if outFile != nil {
 		// A failed Close can lose buffered bytes; exiting 0 with a
 		// truncated output file would poison downstream consumers.

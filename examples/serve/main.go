@@ -2,7 +2,10 @@
 // cached 256-node graph with tester queries over real HTTP, demonstrating
 // that the first query compiles the network once (cache miss) and every
 // later query — from any client — reuses the shared immutable topology and
-// a warm pooled instance (cache hits, near-zero per-query allocation).
+// a warm pooled instance (cache hits, near-zero per-query allocation). A
+// final /sweep over the same graph streams its rows off the query-warmed
+// core — zero additional compiles — and the closing /stats dump shows the
+// byte-weighted cache and the server-wide instance budget.
 //
 //	go run ./examples/serve                      # in-process server
 //	go run ./examples/serve -addr host:8344      # against a running cmd/serve
@@ -133,8 +136,36 @@ func main() {
 	fmt.Printf("verdicts: %d rejected / %d (distinct seeds; each rejection certifies a real C%d)\n",
 		rejects, total, *k)
 
-	// Server-side view: pool occupancy and hit rate.
-	resp, err := http.Get(base + "/stats")
+	// Sweep over the SAME graph: trials run on the compiled core the query
+	// traffic just warmed, so the row stream below costs zero compiles.
+	sweepSpec, _ := json.Marshal(map[string]any{
+		"graphs": []map[string]any{{"family": "gnm", "n": 256, "m": 1024}},
+		"k":      []int{*k},
+		"eps":    []float64{*eps},
+		"trials": 5,
+		"seed":   7,
+	})
+	resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(sweepSpec))
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("sweep: stream cut mid-flight: %w", err))
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("sweep: HTTP %d: %s", resp.StatusCode, rows))
+	}
+	if bytes.Contains(rows, []byte(`"event":"error"`)) {
+		fatal(fmt.Errorf("sweep stream ended in error: %s", rows))
+	}
+	// The stream is row lines plus one terminal summary line.
+	fmt.Printf("sweep over the cached graph: %d rows, zero new compiles\n",
+		bytes.Count(rows, []byte{'\n'})-1)
+
+	// Server-side view: byte-weighted cache, instance budget, hit rate.
+	resp, err = http.Get(base + "/stats")
 	if err != nil {
 		fatal(err)
 	}
@@ -143,8 +174,13 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("server: graphs_cached=%d instances_live=%d hit_rate=%.3f timeouts=%d failures=%d\n",
-		st.GraphsCached, st.InstancesLive, st.HitRate, st.Timeouts, st.Failures)
+	fmt.Printf("server: graphs_cached=%d cache_bytes=%d compiles=%d instances_live=%d/%d hit_rate=%.3f timeouts=%d failures=%d\n",
+		st.GraphsCached, st.CacheBytes, st.Compiles, st.InstancesLive, st.InstanceBudget,
+		st.HitRate, st.Timeouts, st.Failures)
+	for _, e := range st.Entries {
+		fmt.Printf("  entry %s: n=%d m=%d bytes=%d hits=%d age=%.1fs idle=%d\n",
+			e.Key, e.N, e.M, e.Bytes, e.Hits, e.AgeSeconds, e.InstancesIdle)
+	}
 }
 
 func fatal(err error) {

@@ -61,6 +61,9 @@ type (
 	Result = network.Result
 	// ErrBandwidth reports a message that exceeded the configured budget.
 	ErrBandwidth = network.ErrBandwidth
+	// ErrCanceled reports a run aborted by its context at a round barrier
+	// (see network.Instance.RunProgramCtx).
+	ErrCanceled = network.ErrCanceled
 	// Topology is the precomputed port structure shared by both engines.
 	Topology = network.Topology
 	// WorkerPool is the persistent worker pool behind the BSP engine.

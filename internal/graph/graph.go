@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"unsafe"
 )
 
 // Graph is an immutable simple undirected graph on vertices 0..N()-1.
@@ -127,6 +128,15 @@ func (g *Graph) Fingerprint() string {
 		word(uint64(uint32(a)))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MemSize returns the graph's resident size in bytes — the CSR offset and
+// adjacency slabs, Θ(m). Anchored to the actual field types (not assumed
+// widths), so callers that budget memory by it (the serving layer's
+// byte-weighted cache) stay correct if the representation changes.
+func (g *Graph) MemSize() int64 {
+	var off int32
+	return int64(len(g.off)+len(g.adj)) * int64(unsafe.Sizeof(off))
 }
 
 // Clone returns a deep copy of g. Graphs are immutable so Clone is rarely

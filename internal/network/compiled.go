@@ -28,9 +28,10 @@ type CompileOptions struct {
 // Compiled produce results byte-identical to N sequential fresh runs
 // (locked by TestConcurrentInstancesMatchSequential).
 type Compiled struct {
-	g    *graph.Graph
-	topo *Topology
-	opts CompileOptions
+	g       *graph.Graph
+	topo    *Topology
+	opts    CompileOptions
+	memSize int64
 }
 
 // Compile validates opts against g and precomputes the shared immutable
@@ -45,8 +46,15 @@ func Compile(g *graph.Graph, opts CompileOptions) (*Compiled, error) {
 	// BuildTopology materializes the default assignment when IDs is nil;
 	// keep the resolved slice so every Instance sees the same assignment.
 	opts.IDs = topo.IDs()
-	return &Compiled{g: g, topo: topo, opts: opts}, nil
+	c := &Compiled{g: g, topo: topo, opts: opts}
+	c.memSize = g.MemSize() + topo.memSize()
+	return c, nil
 }
+
+// MemSize returns the compiled core's approximate resident size in bytes —
+// Θ(m), dominated by the CSR adjacency and the per-port topology slabs.
+// Cache layers weigh eviction decisions by it (see internal/serve).
+func (c *Compiled) MemSize() int64 { return c.memSize }
 
 // Graph returns the graph the core was compiled from.
 func (c *Compiled) Graph() *graph.Graph { return c.g }

@@ -10,6 +10,7 @@ package network
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"cycledetect/internal/graph"
 	"cycledetect/internal/xrand"
@@ -211,6 +212,25 @@ type Result struct {
 	Stats   Stats
 }
 
+// ErrCanceled reports a run aborted by its context at a round barrier.
+// Round is the number of rounds that completed before the abort (0 when the
+// context was already done at RunProgramCtx entry); Cause is the context's
+// error, so errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) both see through it. A canceled Instance is
+// immediately reusable: its next RunProgram is byte-identical to a fresh
+// run (the engines force a node rebuild, same as after a panic).
+type ErrCanceled struct {
+	Round int
+	Cause error
+}
+
+func (e *ErrCanceled) Error() string {
+	return fmt.Sprintf("congest: run canceled after round %d: %v", e.Round, e.Cause)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *ErrCanceled) Unwrap() error { return e.Cause }
+
 // ErrBandwidth reports a message that exceeded the configured budget.
 type ErrBandwidth struct {
 	Round     int
@@ -283,6 +303,23 @@ func BuildTopology(g *graph.Graph, cfg *Config) (*Topology, error) {
 // IDs returns the ID assignment (IDs()[v] is vertex v's identifier). The
 // slice is owned by the Topology and must not be modified.
 func (t *Topology) IDs() []ID { return t.ids }
+
+// memSize is the topology's resident size in bytes: the flat reverse-port
+// and neighbor-ID slabs (Θ(m)), the per-vertex slice headers carved over
+// them, and the resolved ID assignment. Anchored to the actual field types
+// via unsafe.Sizeof so the byte-weighted serve cache cannot silently drift
+// from the real footprint if a representation changes.
+func (t *Topology) memSize() int64 {
+	var (
+		port   int32
+		id     ID
+		header []int32
+	)
+	n := int64(t.g.N())
+	slabs := int64(2*t.g.M()) * (int64(unsafe.Sizeof(port)) + int64(unsafe.Sizeof(id)))
+	headers := 2 * n * int64(unsafe.Sizeof(header))
+	return slabs + headers + n*int64(unsafe.Sizeof(id))
+}
 
 // RevPorts returns the reverse-port table of v: RevPorts(v)[p] is the port
 // of v on the neighbor reached via v's port p. Engine-owned; read-only.

@@ -35,6 +35,15 @@
 // deterministic selection regardless of engine, worker count, or
 // scheduling.
 //
+// Cancellation rides the same machinery: RunProgramCtx checks its context
+// at every round barrier on both engines (the BSP loop directly; the
+// channels engine through a lock-free stop-round agreement, since its
+// capacity-1 protocol deadlocks unless all nodes quit after the SAME
+// round), so a cancelled run aborts within one round as *ErrCanceled,
+// takes precedence over same-run failures, and leaves the Instance
+// reusable — and the checks cost nothing on a never-cancellable context,
+// so steady-state runs stay allocation-free.
+//
 // A single Instance is NOT safe for concurrent RunProgram calls; concurrent
 // workloads attach one Instance per goroutine to a shared Compiled
 // (internal/serve pools warm Instances this way), or give each worker its
@@ -42,6 +51,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -146,6 +156,13 @@ type Instance struct {
 	round                              int    // current round, read by the phase closures
 	sendPhase, deliverPhase, recvPhase func(w, lo, hi int)
 	outputPhase                        func(w, lo, hi int)
+
+	// Cancellation state, armed per run by RunProgramCtx. ctxDone is the
+	// run context's Done channel (nil when the context can never cancel,
+	// which makes every per-round check free); chCancel is the channels
+	// engine's stop-round agreement word (see chCommit).
+	ctxDone  <-chan struct{}
+	chCancel atomic.Uint64
 
 	// Channels engine state: the per-directed-edge channel fabric plus one
 	// persistent goroutine per node, parked on chStart between runs.
@@ -449,11 +466,59 @@ func (nw *Instance) prepare(p Program, seed uint64) int {
 // when the nodes support it (ReusableNode), which is what makes repeated
 // runs allocation-free.
 func (nw *Instance) RunProgram(p Program, seed uint64) (*Result, error) {
+	return nw.RunProgramCtx(context.Background(), p, seed)
+}
+
+// RunProgramCtx is RunProgram with a cancellation hook: ctx is checked at
+// every round barrier on BOTH engines (the BSP loop's top-of-round barrier;
+// the channels engine's per-node top-of-round commit points), so a cancelled
+// run aborts within O(1) rounds of the cancellation instead of burning the
+// remaining rounds, and returns *ErrCanceled carrying the number of rounds
+// completed. errors.Is(err, ctx.Err()) sees through it.
+//
+// Cancellation leaves the Instance immediately reusable: the next run is
+// byte-identical to a fresh run (nodes are rebuilt, failure state cleared —
+// the same recovery path an aborted-by-panic run takes). A context that can
+// never be cancelled (context.Background) costs nothing per round, so
+// steady-state reused runs remain allocation-free with the hook in place.
+func (nw *Instance) RunProgramCtx(ctx context.Context, p Program, seed uint64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		// Nothing ran: the instance is untouched and stays warm.
+		return nil, &ErrCanceled{Round: 0, Cause: err}
+	}
 	rounds := nw.prepare(p, seed)
 	if nw.Engine() == EngineChannels {
-		return nw.runChannels(rounds)
+		return nw.runChannels(ctx, rounds)
 	}
-	return nw.runBSP(rounds)
+	return nw.runBSP(ctx, rounds)
+}
+
+// runCanceled finishes a context-aborted run. Like runFailed it marks the
+// failure state dirty (failures recorded before the cancellation must not
+// leak into the next run) and forces a node rebuild, so a post-cancel run
+// is byte-identical to a fresh one. Cancellation takes precedence over any
+// node failure recorded in the same run on both engines: which failures a
+// cut-short run observes depends on where it was cut, so ErrCanceled is
+// the only deterministic answer.
+func (nw *Instance) runCanceled(round int, cause error) error {
+	nw.hadErr = true
+	nw.lastProg = nil
+	return &ErrCanceled{Round: round, Cause: cause}
+}
+
+// pollDone is the non-blocking cancellation poll both engine loops use at
+// their round barriers. done is nil for a never-cancellable context
+// (context.Background), making the poll free on the default path.
+func pollDone(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // anyWorkerErr reports whether any worker recorded a failure this run; it
@@ -488,8 +553,9 @@ func (nw *Instance) runFailed() error {
 	return nw.errs[best].err
 }
 
-func (nw *Instance) runBSP(rounds int) (*Result, error) {
+func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 	n := nw.c.g.N()
+	done := ctx.Done() // nil for a never-cancellable context: polls vanish
 	runPhase := func(fn func(w, lo, hi int)) {
 		if nw.pool == nil {
 			fn(0, 0, n)
@@ -498,6 +564,12 @@ func (nw *Instance) runBSP(rounds int) (*Result, error) {
 		nw.pool.Run(fn)
 	}
 	for nw.round = 1; nw.round <= rounds; nw.round++ {
+		// The cancellation check rides the existing round barrier: one
+		// non-blocking poll per round, before the round's first phase, so an
+		// abort never leaves a round half-executed.
+		if pollDone(done) {
+			return nil, nw.runCanceled(nw.round-1, ctx.Err())
+		}
 		runPhase(nw.sendPhase)
 		runPhase(nw.deliverPhase)
 		// One failure check per round, covering this round's Send panics
@@ -505,17 +577,28 @@ func (nw *Instance) runBSP(rounds int) (*Result, error) {
 		// panics. Workers cover ascending vertex ranges and every per-node
 		// first failure is kept, so the selection in runFailed is
 		// deterministic regardless of the worker count — and the remaining
-		// rounds' work is not burned.
+		// rounds' work is not burned. Cancellation is re-checked first at
+		// every abort point so that a run that both failed and was
+		// cancelled reports ErrCanceled on either engine.
 		if nw.anyWorkerErr() {
+			if pollDone(done) {
+				return nil, nw.runCanceled(nw.round-1, ctx.Err())
+			}
 			return nil, nw.runFailed()
 		}
 		runPhase(nw.recvPhase)
 	}
 	if nw.anyWorkerErr() { // Receive panics in the final round
+		if pollDone(done) {
+			return nil, nw.runCanceled(rounds, ctx.Err())
+		}
 		return nil, nw.runFailed()
 	}
+	if pollDone(done) { // mirror the channels engine: a cancelled run computes no outputs
+		return nil, nw.runCanceled(rounds, ctx.Err())
+	}
 	runPhase(nw.outputPhase)
-	if nw.anyWorkerErr() { // Output panics
+	if nw.anyWorkerErr() { // Output panics (cancellation already checked above)
 		return nil, nw.runFailed()
 	}
 	for w := range nw.perWorker {
@@ -547,16 +630,24 @@ func (nw *Instance) runBSP(rounds int) (*Result, error) {
 // therefore fully consumed — at round r, so two slots suffice, programs may
 // reuse their out buffers every round (see Node), and steady-state rounds
 // allocate nothing.
-func (nw *Instance) runChannels(rounds int) (*Result, error) {
+func (nw *Instance) runChannels(ctx context.Context, rounds int) (*Result, error) {
 	n := nw.c.g.N()
 	nw.chRounds = rounds
 	nw.abortRank.Store(noAbort)
+	nw.ctxDone = ctx.Done()
+	nw.chCancel.Store(chNoStop << 32)
 	nw.chWG.Add(n)
 	for _, c := range nw.chStart {
 		c <- struct{}{}
 	}
 	nw.chWG.Wait()
+	// Drop the done channel now that every node has parked: an idle
+	// Instance must not keep the finished request's context reachable.
+	nw.ctxDone = nil
 
+	if stop := nw.chCancel.Load() >> 32; stop != chNoStop {
+		return nil, nw.runCanceled(int(stop), ctx.Err())
+	}
 	if nw.abortRank.Load() != noAbort {
 		return nil, nw.runFailed()
 	}
@@ -565,6 +656,59 @@ func (nw *Instance) runChannels(rounds int) (*Result, error) {
 	}
 	nw.res.Stats.Finalize()
 	return &nw.res, nil
+}
+
+// chNoStop is the stop-round sentinel of chCancel's high 32 bits while no
+// cancellation has been observed.
+const chNoStop = (1 << 32) - 1
+
+// The channels engine has no global barrier to hang a cancellation check
+// on — nodes drift up to one round apart — so aborting early needs the
+// nodes to AGREE on a common final round: the capacity-1 channel protocol
+// deadlocks unless every node completes exactly the same set of rounds
+// (each pull of round r needs the neighbor's round-r push, and each push of
+// round r waits on the neighbor's round r-1 pull, forcing equal stop rounds
+// across every edge of the connected graph). The agreement lives in one
+// packed atomic word — high 32 bits the agreed stop round (chNoStop until a
+// cancellation is observed), low 32 bits the highest round any node has
+// committed to — so commit and check are a single linearizable CAS and no
+// node can slip into a round the stop decision didn't cover.
+//
+// chCommit records that node goroutine's intent to run round r and reports
+// whether it may: committing advances the max (so a later stop decision is
+// >= r), and a round past an already-agreed stop is refused. Every node
+// therefore executes exactly rounds 1..stop.
+func (nw *Instance) chCommit(r int) bool {
+	for {
+		w := nw.chCancel.Load()
+		stop, max := w>>32, w&0xFFFFFFFF
+		if uint64(r) > stop {
+			return false
+		}
+		if uint64(r) <= max {
+			return true // an earlier committer already covers round r
+		}
+		if nw.chCancel.CompareAndSwap(w, stop<<32|uint64(r)) {
+			return true
+		}
+	}
+}
+
+// chCancelRun is run by the first node goroutine that observes the context
+// cancelled: it freezes the stop round at the highest committed round, once.
+// Nodes at lower rounds still complete the protocol up to it — at most one
+// round of extra work each — and then every goroutine parks.
+func (nw *Instance) chCancelRun() {
+	for {
+		w := nw.chCancel.Load()
+		stop, max := w>>32, w&0xFFFFFFFF
+		if stop != chNoStop {
+			return
+		}
+		if nw.chCancel.CompareAndSwap(w, max<<32|max) {
+			return
+		}
+	}
 }
 
 // chanNode is one node's persistent channel-engine runner. Its goroutine
@@ -636,7 +780,16 @@ func (cn *chanNode) run() {
 	budget := nw.c.opts.BandwidthBits
 	ids := nw.c.topo.ids
 	rounds := nw.chRounds
+	ctxDone := nw.ctxDone
 	for r := 1; r <= rounds; r++ {
+		if ctxDone != nil { // the run context can cancel: poll + commit
+			if pollDone(ctxDone) {
+				nw.chCancelRun()
+			}
+			if !nw.chCommit(r) {
+				break // past the agreed stop round; park
+			}
+		}
 		cn.round = r
 		// A round whose ranks are at or below the current abort rank always
 		// runs in full; abortRank only ever decreases, so the round the
@@ -696,8 +849,10 @@ func (cn *chanNode) run() {
 	// panic elsewhere must not suppress this node's Output (the BSP engine
 	// runs the whole output phase too, and skipping here would make the
 	// recorded set — and thus the lowest-vertex tie-break — depend on
-	// goroutine scheduling).
-	if !cn.failed && nw.abortRank.Load() > int64(recvRank(rounds)) {
+	// goroutine scheduling). A cancelled run computes no outputs at all —
+	// its Result is never returned.
+	if !cn.failed && nw.abortRank.Load() > int64(recvRank(rounds)) &&
+		nw.chCancel.Load()>>32 == chNoStop {
 		cn.output()
 	}
 }

@@ -95,7 +95,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
 	w.WriteHeader(http.StatusOK)
 
-	sum, err := s.RunSweep(&spec, sink)
+	// The request context carries cancellation end to end: a client that
+	// kills the stream aborts the in-flight trials at their next CONGEST
+	// round barrier, not at trial or job boundaries.
+	sum, err := s.RunSweep(r.Context(), &spec, sink)
 	if derr := sink.Done(sum, err); derr != nil && err == nil {
 		log.Printf("serve: sweep %q: stream close: %v", spec.Name, derr)
 	}

@@ -1,6 +1,6 @@
 // Package serve is the query-serving layer over the CONGEST simulator: a
-// Server multiplexes many concurrent tester/detector queries over a small
-// set of cached, immutable compiled networks.
+// Server multiplexes many concurrent tester/detector queries — and sweep
+// streams — over a small set of cached, immutable compiled networks.
 //
 // The paper makes a single query cheap — "is this graph ε-far from
 // Ck-free?" costs O(1/ε) CONGEST rounds, independent of the graph size —
@@ -10,14 +10,28 @@
 // reuse, both enabled by the internal/network Compiled/Instance split:
 //
 //   - an LRU cache of network.Compiled cores keyed by canonical graph
-//     fingerprint, so the immutable O(m) part — graph and topology — is
-//     compiled once per distinct graph and shared, zero-copy, by every
-//     query that names it;
-//   - per (graph, engine) pools of warm network.Instances, so the mutable
-//     per-run slab (nodes, coins, stats, engine goroutines) is recycled
-//     across queries instead of rebuilt — a cache-hit query runs within a
-//     small constant of the reused-RunProgram allocation floor
-//     (BenchmarkServeConcurrent).
+//     fingerprint and weighted by compiled size (Compiled.MemSize, Θ(m)),
+//     so the immutable part — graph and topology — is compiled once per
+//     distinct graph, shared zero-copy by every query that names it, and
+//     evicted by the bytes it actually holds, not by entry count alone;
+//   - per (graph, engine) pools of warm network.Instances under one
+//     SERVER-WIDE instance budget, so the mutable per-run slab (nodes,
+//     coins, stats, engine goroutines) is recycled across queries instead
+//     of rebuilt, and a flood of distinct graphs degrades gracefully — cold
+//     graphs give their idle warmth back to hot ones instead of every
+//     graph hoarding its own cap.
+//
+// Both traffic classes run on this one substrate: /query checks a warm
+// instance out per run, and /sweep trials go through the same cache via
+// sweep.CoreProvider, so a sweep over a graph the query traffic already
+// compiled performs zero compiles (and vice versa).
+//
+// Cancellation is threaded end to end: the request context flows through
+// the instance-pool wait into network.RunProgramCtx, so a timed-out or
+// abandoned query aborts its CONGEST run at the next round barrier and the
+// instance re-pools within one round — abandoned work stops consuming the
+// budget almost immediately, instead of burning every remaining round in
+// the background.
 //
 // Concurrency: Instances attached to one Compiled are independent, so N
 // queries over one cached graph run genuinely in parallel while reading
@@ -27,7 +41,7 @@
 // The HTTP surface (see Handler) is POST /query for single runs, POST
 // /sweep for declarative parameter sweeps streamed row-by-row (SSE or JSON
 // lines via sweep.HTTPSink), and GET /stats for cache and in-flight
-// counters.
+// counters including per-entry size, hits, and age.
 package serve
 
 import (
@@ -49,27 +63,38 @@ import (
 // Options configures a Server. The zero value serves with the defaults
 // noted on each field.
 type Options struct {
-	// MaxGraphs caps the LRU cache of compiled networks (default 8).
+	// MaxGraphs caps the number of cached compiled networks (default 64;
+	// negative disables the entry bound, like MaxCacheBytes). Eviction is
+	// primarily byte-weighted (MaxCacheBytes); this is the secondary guard
+	// against unbounded entry counts of tiny graphs.
 	// Evicting a graph closes its idle instances; in-flight queries on an
 	// evicted graph finish normally and their instances are then released
 	// for good.
 	MaxGraphs int
-	// MaxInstances caps the warm-instance pool per (graph, engine) —
-	// equivalently, the number of queries that can run concurrently over
-	// one cached graph on one engine (default GOMAXPROCS). Excess queries
-	// wait for a free instance (or their deadline).
+	// MaxCacheBytes bounds the summed compiled size (Compiled.MemSize,
+	// Θ(m) bytes per graph) of the cache (default 256 MiB; negative
+	// disables the byte bound). The most recently used entry is never
+	// evicted, so one over-budget giant graph still serves.
+	MaxCacheBytes int64
+	// MaxInstances is the SERVER-WIDE budget of live instances — idle in
+	// pools plus in-flight — across all graphs and engines (default
+	// GOMAXPROCS). Equivalently, the number of runs that can execute
+	// concurrently. When the budget is exhausted, a query first reclaims
+	// an idle instance from the coldest cached graph, then waits (bounded
+	// by its deadline) for an in-flight run to release one.
 	MaxInstances int
 	// QueryTimeout bounds one query end to end, including the wait for a
 	// free instance (default 30s; negative disables). A timed-out query
-	// returns 504; its instance rejoins the pool when the abandoned run
-	// finishes.
+	// returns 504; its run is cancelled at the next round barrier and the
+	// instance rejoins the pool within one round.
 	QueryTimeout time.Duration
 	// NetworkWorkers is the BSP pool width of each instance (default 1:
 	// serving parallelism comes from concurrent queries, not from
 	// intra-run workers).
 	NetworkWorkers int
 	// BandwidthBits, if positive, compiles a hard per-message budget into
-	// every cached network.
+	// every cached network. Sweep specs with a matching budget run on the
+	// shared cache; others fall back to private cores.
 	BandwidthBits int
 	// SweepWorkers caps the scheduler workers of /sweep requests (default
 	// GOMAXPROCS; a spec asking for more is clamped).
@@ -79,11 +104,28 @@ type Options struct {
 // defaultQueryTimeout bounds queries when Options.QueryTimeout is zero.
 const defaultQueryTimeout = 30 * time.Second
 
+// defaultMaxCacheBytes bounds the compiled cache when Options.MaxCacheBytes
+// is zero.
+const defaultMaxCacheBytes = 256 << 20
+
 func (o Options) maxGraphs() int {
 	if o.MaxGraphs > 0 {
 		return o.MaxGraphs
 	}
-	return 8
+	if o.MaxGraphs < 0 {
+		return int(^uint(0) >> 1) // negative = unbounded, matching maxCacheBytes
+	}
+	return 64
+}
+
+func (o Options) maxCacheBytes() int64 {
+	if o.MaxCacheBytes > 0 {
+		return o.MaxCacheBytes
+	}
+	if o.MaxCacheBytes < 0 {
+		return 1 << 62 // effectively unbounded
+	}
+	return defaultMaxCacheBytes
 }
 
 func (o Options) maxInstances() int {
@@ -123,14 +165,18 @@ func (o Options) sweepWorkers() int {
 type Server struct {
 	opts Options
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // of *entry; front = most recently used
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled on release, eviction, budget change, close
+	entries    map[string]*entry
+	lru        *list.List // of *entry; front = most recently used
+	cacheBytes int64      // summed MemSize of cached cores
+	spawned    int        // live instances server-wide: idle + in-flight
+	closed     bool
 
 	queries   atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
+	compiles  atomic.Int64
 	evictions atomic.Int64
 	timeouts  atomic.Int64
 	failures  atomic.Int64
@@ -147,14 +193,16 @@ type entry struct {
 	compiled *network.Compiled
 	pools    map[network.Engine]*instPool
 	evicted  bool
+	hits     int64     // lookups served by this entry (guarded by Server.mu)
+	created  time.Time // when the entry was compiled into the cache
 }
 
-// instPool is the bounded pool of warm instances for one (graph, engine):
-// idle holds parked workers; spawned counts idle + in-flight ones and is
-// guarded by Server.mu.
+// instPool holds the idle warm workers of one (graph, engine). All
+// bookkeeping is guarded by Server.mu; blocked acquirers wait on
+// Server.cond, not on the pool itself, because a server-wide budget means a
+// release anywhere can unblock a waiter everywhere.
 type instPool struct {
-	idle    chan *worker
-	spawned int
+	idle []*worker
 }
 
 // worker is a warm instance plus everything reused across the queries it
@@ -167,7 +215,10 @@ type worker struct {
 	det    *core.EdgeDetector
 	done   chan queryOutcome
 
-	// Per-run inputs/outputs, set before the goroutine handoff.
+	// Per-run inputs/outputs, set before the goroutine handoff. ctx is the
+	// query's context: the run aborts at its next round barrier once ctx
+	// fires, which is what re-pools a 504'd query's instance promptly.
+	ctx  context.Context
 	prog network.Program
 	seed uint64
 	reps int // Repetitions() of a tester prog; 0 for detectors
@@ -180,11 +231,13 @@ type queryOutcome struct {
 
 // NewServer returns a Server with the given options.
 func NewServer(opts Options) *Server {
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		entries: make(map[string]*entry),
 		lru:     list.New(),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
 }
 
 // Close evicts every cached graph and closes all idle instances. In-flight
@@ -199,35 +252,31 @@ func (s *Server) Close() {
 	}
 	s.entries = map[string]*entry{}
 	s.lru.Init()
+	s.cond.Broadcast()
 }
 
-// evictLocked marks e evicted, closes its idle instances, and closes the
-// idle channels so queries blocked waiting for a free instance wake
-// immediately (they retry against the live cache instead of sleeping out
-// their deadline against a dead pool). Callers hold s.mu; release never
-// sends on an evicted pool's channel (it checks e.evicted under the same
-// lock), so the close is safe.
+// evictLocked marks e evicted, closes its idle instances (returning their
+// budget), and wakes blocked acquirers so queries waiting on the dead entry
+// retry against the live cache instead of sleeping out their deadline.
+// Callers hold s.mu.
 func (s *Server) evictLocked(e *entry) {
 	e.evicted = true
+	s.cacheBytes -= e.compiled.MemSize()
 	for _, p := range e.pools {
-		for {
-			select {
-			case w := <-p.idle:
-				p.spawned--
-				w.inst.Close()
-			default:
-				goto next
-			}
+		for _, w := range p.idle {
+			s.spawned--
+			w.inst.Close()
 		}
-	next:
-		close(p.idle)
+		p.idle = nil
 	}
+	s.cond.Broadcast()
 }
 
-// lookup returns the cache entry for key, compiling (via build) on a miss.
-// The graph build and compile run outside the lock, so a slow generator
-// stalls only the queries that need it; a concurrent duplicate build loses
-// the insert race and is dropped.
+// lookup returns the cache entry for key, compiling (via build) on a miss,
+// and counts the hit/miss (server-wide and per entry). The graph build and
+// compile run outside the lock, so a slow generator stalls only the queries
+// that need it; a concurrent duplicate build loses the insert race and is
+// dropped.
 func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry, bool, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -236,7 +285,9 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 	}
 	if e, ok := s.entries[key]; ok {
 		s.lru.MoveToFront(e.elem)
+		e.hits++
 		s.mu.Unlock()
+		s.hits.Add(1)
 		return e, true, nil
 	}
 	s.mu.Unlock()
@@ -249,6 +300,7 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 	if err != nil {
 		return nil, false, err
 	}
+	s.compiles.Add(1)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -257,12 +309,23 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 	}
 	if e, ok := s.entries[key]; ok { // lost the build race: reuse the winner
 		s.lru.MoveToFront(e.elem)
+		e.hits++
+		s.hits.Add(1)
 		return e, true, nil
 	}
-	e := &entry{key: key, g: g, compiled: compiled, pools: map[network.Engine]*instPool{}}
+	e := &entry{
+		key: key, g: g, compiled: compiled,
+		pools: map[network.Engine]*instPool{}, created: time.Now(),
+	}
 	e.elem = s.lru.PushFront(e)
 	s.entries[key] = e
-	for s.lru.Len() > s.opts.maxGraphs() {
+	s.cacheBytes += compiled.MemSize()
+	s.misses.Add(1)
+	// Byte-weighted eviction first (the production bound), entry count as
+	// the secondary guard; the most recently used entry always survives, so
+	// a single over-budget graph still serves.
+	for s.lru.Len() > 1 &&
+		(s.cacheBytes > s.opts.maxCacheBytes() || s.lru.Len() > s.opts.maxGraphs()) {
 		victim := s.lru.Back().Value.(*entry)
 		s.lru.Remove(victim.elem)
 		delete(s.entries, victim.key)
@@ -278,77 +341,131 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 var errEvicted = errors.New("serve: cache entry evicted")
 
 // acquire checks a warm worker out of e's pool for the given engine,
-// creating one if the pool is below its cap, or waiting (bounded by ctx)
-// for an in-flight query to release one. It returns errEvicted when e was
-// evicted before or while waiting — the pool is dead, so waiting on it
-// would only burn the caller's deadline.
+// spawning one when the server-wide instance budget allows, reclaiming an
+// idle instance from the coldest graph when it does not, or waiting
+// (bounded by ctx) for an in-flight run to release one. It returns
+// errEvicted when e was evicted before or while waiting — the entry is
+// dead, so waiting on it would only burn the caller's deadline.
 func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (*worker, error) {
 	s.mu.Lock()
-	if e.evicted {
-		s.mu.Unlock()
-		return nil, errEvicted
-	}
-	p, ok := e.pools[engine]
-	if !ok {
-		p = &instPool{idle: make(chan *worker, s.opts.maxInstances())}
-		e.pools[engine] = p
-	}
-	select {
-	case w := <-p.idle: // non-nil: the channel only closes after eviction, checked above
-		s.mu.Unlock()
-		return w, nil
-	default:
-	}
-	if p.spawned < s.opts.maxInstances() {
-		p.spawned++
-		s.mu.Unlock()
-		inst, err := e.compiled.NewInstance(network.InstanceOptions{
-			Engine:  engine,
-			Workers: s.opts.networkWorkers(),
-		})
-		if err != nil {
-			s.mu.Lock()
-			p.spawned--
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: server closed")
+		}
+		if e.evicted {
+			s.mu.Unlock()
+			return nil, errEvicted
+		}
+		p, ok := e.pools[engine]
+		if !ok {
+			p = &instPool{}
+			e.pools[engine] = p
+		}
+		if n := len(p.idle); n > 0 {
+			w := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			s.mu.Unlock()
+			return w, nil
+		}
+		if s.spawned < s.opts.maxInstances() {
+			s.spawned++
+			s.mu.Unlock()
+			inst, err := e.compiled.NewInstance(network.InstanceOptions{
+				Engine:  engine,
+				Workers: s.opts.networkWorkers(),
+			})
+			if err != nil {
+				s.mu.Lock()
+				s.spawned--
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return nil, err
+			}
+			return &worker{inst: inst, done: make(chan queryOutcome, 1)}, nil
+		}
+		// Budget exhausted. Degrade gracefully: reclaim an idle instance
+		// from the coldest pool (its warmth is worth less than this
+		// query's latency), freeing budget for the spawn branch above.
+		if s.reclaimIdleLocked() {
+			continue
+		}
+		// Every instance is in flight: wait for a release, bounded by ctx.
+		if err := s.waitLocked(ctx); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
-		return &worker{inst: inst, done: make(chan queryOutcome, 1)}, nil
-	}
-	s.mu.Unlock()
-	select {
-	case w, ok := <-p.idle:
-		if !ok { // pool closed by eviction while waiting
-			return nil, errEvicted
-		}
-		return w, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
 	}
 }
 
+// reclaimIdleLocked closes one idle instance from the least recently used
+// entry that has one and returns whether budget was freed. The pool the
+// caller is acquiring for is empty (that is why it got here), so the scan
+// can only ever reclaim a DIFFERENT pool's warmth — possibly the same
+// graph's other engine. Callers hold s.mu.
+func (s *Server) reclaimIdleLocked() bool {
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		for _, p := range e.pools {
+			if n := len(p.idle); n > 0 {
+				w := p.idle[n-1]
+				p.idle = p.idle[:n-1]
+				s.spawned--
+				w.inst.Close()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waitLocked blocks on the server condition until something changes —
+// a release, an eviction, a close — or ctx is done. Callers hold s.mu; the
+// lock is held again when waitLocked returns. The context watcher takes
+// s.mu before broadcasting, so it cannot fire between the caller's checks
+// and the wait (no missed wakeups).
+func (s *Server) waitLocked(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.cond.Wait()
+	return ctx.Err()
+}
+
 // release returns w to e's pool — or closes it when the entry was evicted
-// (or the server closed) while the query ran. The idle send happens under
-// s.mu, mutually exclusive with evictLocked: the evicted check and the
-// send are one atomic step, so a worker can never be parked in (or sent
-// on) a drained, closed pool. The channel's capacity equals the spawn
-// cap, so the send never blocks while holding the lock.
+// (or the server closed) while the query ran — and wakes blocked acquirers:
+// under a server-wide budget, a release anywhere may unblock a waiter on
+// any entry.
 func (s *Server) release(e *entry, engine network.Engine, w *worker) {
+	// The run is over (both call sites receive from w.done first); drop the
+	// dead request's context and program so an idle worker doesn't pin the
+	// finished HTTP request chain while parked. The tester/detector values
+	// stay: they are the ReusableNode fast path for the next query.
+	w.ctx, w.prog = nil, nil
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p := e.pools[engine]
 	if e.evicted || s.closed {
-		p.spawned--
+		s.spawned--
 		w.inst.Close()
-		return
+	} else {
+		p := e.pools[engine]
+		p.idle = append(p.idle, w)
 	}
-	p.idle <- w
+	s.cond.Broadcast()
 }
 
 // Query answers one tester/detector query, reusing the cached compiled
 // network and a pooled warm instance when possible. It is the transport-
 // independent core of POST /query (and what BenchmarkServeConcurrent
-// measures); ctx bounds the whole query including the wait for a free
-// instance. Safe for concurrent use.
+// measures); ctx bounds the whole query — the wait for a free instance AND
+// the run itself, which is cancelled at its next round barrier when ctx
+// fires. Safe for concurrent use.
 func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	s.queries.Add(1)
 	s.inFlight.Add(1)
@@ -367,9 +484,9 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		return nil, err
 	}
 	// Lookup and checkout retry when the entry is LRU-evicted in between
-	// (or while waiting for a free instance — eviction closes the pool and
-	// wakes waiters): the next lookup re-compiles into a live entry. The
-	// loop is bounded by ctx, which every acquire wait observes.
+	// (or while waiting for a free instance — eviction wakes waiters): the
+	// next lookup re-compiles into a live entry. The loop is bounded by
+	// ctx, which every acquire wait observes.
 	var (
 		e   *entry
 		hit bool
@@ -381,32 +498,47 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 			s.failures.Add(1)
 			return nil, err
 		}
-		if hit {
-			s.hits.Add(1)
-		} else {
-			s.misses.Add(1)
-		}
 		w, err = s.acquire(ctx, e, engine)
 		if err == nil {
 			break
 		}
-		if errors.Is(err, errEvicted) && ctx.Err() == nil {
-			continue
+		if errors.Is(err, errEvicted) {
+			if ctx.Err() == nil {
+				continue
+			}
+			// The entry died AND the deadline expired: the deadline is
+			// what the client (504) and the operator's timeout counter
+			// must see, not the internal eviction marker.
+			err = ctx.Err()
 		}
 		s.countQueryErr(ctx, err)
 		return nil, err
 	}
 	w.arm(req)
+	w.ctx = ctx
 	w.seed = req.Seed
 
-	// The run cannot be interrupted, so the deadline is enforced on the
-	// wait: an abandoned run keeps its worker out of the pool until it
-	// finishes, then releases it warm for the next query.
+	// The deadline is enforced twice over: the select below answers the
+	// client the instant ctx fires, and the run itself — carrying ctx —
+	// aborts at its next round barrier, so the abandoned instance re-pools
+	// within one round instead of at run completion.
 	go w.run()
 	select {
 	case out := <-w.done:
 		s.release(e, engine, w)
 		if out.err != nil {
+			var ce *network.ErrCanceled
+			if errors.As(out.err, &ce) {
+				// The run lost the race with its own context; report it the
+				// same way — verb included — as a deadline hit on the wait.
+				s.countQueryErr(ctx, ce.Cause)
+				verb := "canceled"
+				if errors.Is(ce.Cause, context.DeadlineExceeded) {
+					verb = "deadline exceeded"
+				}
+				return nil, fmt.Errorf("serve: query %s after %v: %w", verb,
+					time.Since(start).Round(time.Millisecond), out.err)
+			}
 			s.failures.Add(1)
 			return nil, out.err
 		}
@@ -419,7 +551,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	case <-ctx.Done():
 		s.countQueryErr(ctx, ctx.Err())
 		go func() {
-			<-w.done
+			<-w.done // the cancelled run parks within one round
 			s.release(e, engine, w)
 		}()
 		verb := "canceled"
@@ -466,12 +598,14 @@ func (w *worker) arm(req *QueryRequest) {
 	w.prog, w.reps = w.tester, w.tester.Repetitions()
 }
 
-// run executes the armed program and summarizes into a response. It runs
-// in its own goroutine so the caller can abandon a run at deadline; the
-// summary happens here, before release, because the instance's Result is
-// overwritten by its next run.
+// run executes the armed program under the query context and summarizes
+// into a response. It runs in its own goroutine so the caller can answer
+// the client the moment the deadline fires; the run itself observes the
+// same context and aborts at its next round barrier, re-pooling the
+// instance promptly. The summary happens here, before release, because the
+// instance's Result is overwritten by its next run.
 func (w *worker) run() {
-	res, err := w.inst.RunProgram(w.prog, w.seed)
+	res, err := w.inst.RunProgramCtx(w.ctx, w.prog, w.seed)
 	if err != nil {
 		w.done <- queryOutcome{err: err}
 		return
@@ -493,57 +627,138 @@ func (w *worker) run() {
 	}}
 }
 
+// EntryStats describes one cached graph in a Stats snapshot.
+type EntryStats struct {
+	// Key is the cache key (family spec or canonical fingerprint).
+	Key string `json:"key"`
+	// N and M are the graph's dimensions.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Bytes is the compiled core's size (Compiled.MemSize).
+	Bytes int64 `json:"bytes"`
+	// Hits counts lookups served by this entry since it was compiled.
+	Hits int64 `json:"hits"`
+	// AgeSeconds is the time since the entry was compiled into the cache.
+	AgeSeconds float64 `json:"age_seconds"`
+	// InstancesIdle is the entry's parked warm instances, all engines.
+	InstancesIdle int `json:"instances_idle"`
+}
+
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
 	GraphsCached  int   `json:"graphs_cached"`
-	InstancesIdle int   `json:"instances_idle"`
-	InstancesLive int   `json:"instances_live"` // idle + in-flight
-	Queries       int64 `json:"queries"`
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Evictions     int64 `json:"evictions"`
-	Timeouts      int64 `json:"timeouts"`
-	Failures      int64 `json:"failures"`
-	Sweeps        int64 `json:"sweeps"`
-	InFlight      int64 `json:"in_flight"`
-	// HitRate is Hits / (Hits + Misses), 0 before the first query.
+	CacheBytes    int64 `json:"cache_bytes"`     // summed compiled size of cached cores
+	MaxCacheBytes int64 `json:"max_cache_bytes"` // the byte budget eviction enforces
+	// InstanceBudget is the server-wide cap on live instances;
+	// InstancesLive (idle + in-flight) never exceeds it.
+	InstanceBudget int   `json:"instance_budget"`
+	InstancesIdle  int   `json:"instances_idle"`
+	InstancesLive  int   `json:"instances_live"`
+	Queries        int64 `json:"queries"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Compiles       int64 `json:"compiles"` // topology compilations ever performed
+	Evictions      int64 `json:"evictions"`
+	Timeouts       int64 `json:"timeouts"`
+	Failures       int64 `json:"failures"`
+	Sweeps         int64 `json:"sweeps"`
+	InFlight       int64 `json:"in_flight"`
+	// HitRate is Hits / (Hits + Misses), 0 before the first lookup.
 	HitRate float64 `json:"hit_rate"`
+	// Entries lists the cached graphs in recency order (most recent
+	// first), with per-entry size, hit count, and age.
+	Entries []EntryStats `json:"entries,omitempty"`
 }
 
 // Stats returns a snapshot of the cache and traffic counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries:   s.queries.Load(),
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		Timeouts:  s.timeouts.Load(),
-		Failures:  s.failures.Load(),
-		Sweeps:    s.sweeps.Load(),
-		InFlight:  s.inFlight.Load(),
+		MaxCacheBytes:  s.opts.maxCacheBytes(),
+		InstanceBudget: s.opts.maxInstances(),
+		Queries:        s.queries.Load(),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Compiles:       s.compiles.Load(),
+		Evictions:      s.evictions.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Failures:       s.failures.Load(),
+		Sweeps:         s.sweeps.Load(),
+		InFlight:       s.inFlight.Load(),
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)
 	}
+	now := time.Now()
 	s.mu.Lock()
 	st.GraphsCached = len(s.entries)
-	for _, e := range s.entries {
-		for _, p := range e.pools {
-			st.InstancesIdle += len(p.idle)
-			st.InstancesLive += p.spawned
+	st.CacheBytes = s.cacheBytes
+	st.InstancesLive = s.spawned
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		es := EntryStats{
+			Key:        e.key,
+			N:          e.g.N(),
+			M:          e.g.M(),
+			Bytes:      e.compiled.MemSize(),
+			Hits:       e.hits,
+			AgeSeconds: now.Sub(e.created).Seconds(),
 		}
+		for _, p := range e.pools {
+			es.InstancesIdle += len(p.idle)
+		}
+		st.InstancesIdle += es.InstancesIdle
+		st.Entries = append(st.Entries, es)
 	}
 	s.mu.Unlock()
 	return st
 }
 
+// coreProvider adapts the Server's cache to sweep.CoreProvider: sweep
+// trials check instances out of the same LRU of compiled cores and warm
+// pools the query traffic uses, under the same server-wide instance
+// budget. A sweep over a graph /query already cached performs zero
+// compiles — and leaves the graph hot for subsequent queries.
+type coreProvider struct{ s *Server }
+
+// Acquire implements sweep.CoreProvider. It mirrors Query's
+// lookup-acquire-retry loop, including the eviction retry.
+func (p coreProvider) Acquire(ctx context.Context, pt sweep.TrialPoint) (*network.Instance, func(), error) {
+	key := familyKey(pt.Graph, pt.K, pt.Eps, pt.Seed)
+	build := func() (*graph.Graph, error) {
+		return sweep.BuildGraph(pt.Graph, pt.K, pt.Eps, pt.Seed)
+	}
+	for {
+		e, _, err := p.s.lookup(key, build)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err := p.s.acquire(ctx, e, pt.Engine)
+		if err == nil {
+			engine := pt.Engine
+			return w.inst, func() { p.s.release(e, engine, w) }, nil
+		}
+		if errors.Is(err, errEvicted) {
+			if ctx.Err() == nil {
+				continue
+			}
+			err = ctx.Err() // report the cancellation, not the internal marker
+		}
+		return nil, nil, err
+	}
+}
+
 // RunSweep validates and executes a declarative sweep spec, streaming rows
-// to the sinks (the transport-independent core of POST /sweep). The spec's
-// worker count is clamped to Options.SweepWorkers; advisory warnings (for
-// example a k beyond the calibrated representative-selection range) are
-// returned alongside validation so callers can surface them before rows
-// flow.
-func (s *Server) RunSweep(spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
+// to the sinks (the transport-independent core of POST /sweep). Trials run
+// on the server's own cached compiled cores and warm instance pools — the
+// same substrate /query uses — unless the spec asks for a per-message
+// budget different from the server's, in which case they fall back to
+// private cores compiled with the spec's budget. ctx cancels the sweep
+// mid-trial (a killed /sweep stream stops its CONGEST runs at the next
+// round barrier). The spec's worker count is clamped to
+// Options.SweepWorkers; advisory warnings (for example a k beyond the
+// calibrated representative-selection range) are returned alongside
+// validation so callers can surface them before rows flow.
+func (s *Server) RunSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
 	s.sweeps.Add(1)
 	if err := spec.Validate(); err != nil {
 		s.failures.Add(1)
@@ -552,8 +767,13 @@ func (s *Server) RunSweep(spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary
 	if cap := s.opts.sweepWorkers(); spec.Workers <= 0 || spec.Workers > cap {
 		spec.Workers = cap
 	}
-	sum, err := sweep.Run(spec, sinks...)
-	if err != nil {
+	var provider sweep.CoreProvider
+	if spec.BandwidthBits == s.opts.BandwidthBits {
+		provider = coreProvider{s: s}
+	}
+	sum, err := sweep.RunCtx(ctx, spec, provider, sinks...)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		// A client abandoning its stream is not a server failure.
 		s.failures.Add(1)
 	}
 	return sum, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -207,12 +208,18 @@ func TestEvictionWakesWaitersAndQueriesSurvive(t *testing.T) {
 	}
 }
 
+// TestQueryTimeout pins the abandoned-run semantics end to end: a 504'd
+// query's run is CANCELLED at its next round barrier — not left to burn the
+// remaining rounds — so its instance re-pools within rounds of the deadline
+// and immediately serves the next query. The workload would run for tens of
+// seconds if executed to completion; the 3-second release bound below can
+// only be met by the cancellation path.
 func TestQueryTimeout(t *testing.T) {
-	s := NewServer(Options{QueryTimeout: time.Millisecond, MaxInstances: 1})
+	s := NewServer(Options{QueryTimeout: 50 * time.Millisecond, MaxInstances: 1})
 	defer s.Close()
 	_, err := s.Query(context.Background(), &QueryRequest{
 		Graph: GraphRequest{Family: "gnm", N: 128, M: 512, Seed: 1},
-		K:     7, Reps: 1500, Seed: 1, // far beyond a millisecond of rounds
+		K:     7, Reps: 60000, Seed: 1, // hundreds of thousands of rounds: tens of seconds if not aborted
 	})
 	if err == nil {
 		t.Fatal("expected a deadline error")
@@ -220,16 +227,191 @@ func TestQueryTimeout(t *testing.T) {
 	if st := s.Stats(); st.Timeouts != 1 {
 		t.Fatalf("timeout not counted: %+v", st)
 	}
-	// The abandoned run must eventually return its instance to the pool.
-	deadline := time.Now().Add(30 * time.Second)
+	released := time.Now()
+	deadline := released.Add(3 * time.Second)
 	for {
 		if st := s.Stats(); st.InstancesIdle == 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("abandoned instance never released: %+v", s.Stats())
+			t.Fatalf("abandoned instance not released within the cancellation window (run completion is tens of seconds away): %+v", s.Stats())
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The freed instance (the only one in the budget) serves the next
+	// query; a leaked slot would park this one until ITS deadline.
+	if _, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{Family: "gnm", N: 128, M: 512, Seed: 1},
+		K:     7, Reps: 2, Seed: 2,
+	}); err != nil {
+		t.Fatalf("query after the cancelled run: %v", err)
+	}
+}
+
+// TestSweepRunsOnQueryCache is the topology-sharing contract between the
+// two traffic classes: a /sweep over a graph the query traffic already
+// compiled performs ZERO compiles — its trials check instances out of the
+// same cached core — its lookups count as cache hits in /stats, and its
+// rows are byte-identical to the standalone sweep substrate.
+func TestSweepRunsOnQueryCache(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	if _, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{Family: "gnm", N: 48, M: 192, Seed: 11},
+		K:     5, Reps: 2, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st0 := s.Stats()
+	if st0.Compiles != 1 {
+		t.Fatalf("warm-up should compile exactly once: %+v", st0)
+	}
+
+	spec := &sweep.Spec{
+		Graphs: []sweep.GraphSpec{{Family: "gnm", N: 48, M: 192}},
+		K:      []int{5, 7}, Eps: []float64{0.2}, Trials: 3, Seed: 11,
+	}
+	var got []sweep.Result
+	sum, err := s.RunSweep(context.Background(), spec, sweep.FuncSink(func(r *sweep.Result) error {
+		got = append(got, *r)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 2 || len(got) != 2 {
+		t.Fatalf("sweep shape: %+v, %d rows", sum, len(got))
+	}
+
+	st := s.Stats()
+	if st.Compiles != st0.Compiles {
+		t.Fatalf("sweep on a cached graph must perform zero compiles: before %+v, after %+v", st0, st)
+	}
+	if st.Misses != st0.Misses || st.Hits <= st0.Hits {
+		t.Fatalf("sweep lookups must hit the query-warmed entry: before %+v, after %+v", st0, st)
+	}
+
+	// Determinism across substrates: the standalone scheduler (its own
+	// cores) must produce identical rows for the identical spec.
+	standalone := &sweep.Spec{
+		Graphs: []sweep.GraphSpec{{Family: "gnm", N: 48, M: 192}},
+		K:      []int{5, 7}, Eps: []float64{0.2}, Trials: 3, Seed: 11,
+	}
+	var want []sweep.Result
+	if _, err := sweep.Run(standalone, sweep.FuncSink(func(r *sweep.Result) error {
+		want = append(want, *r)
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i].Elapsed, got[i].Elapsed = 0, 0
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("row %d differs between substrates:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSweepCancelStopsServerTrials: killing a served sweep's context stops
+// its trials (the stream's rows cease) and does not poison the server —
+// the instances released by the dying sweep serve later queries.
+func TestSweepCancelStopsServerTrials(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := &sweep.Spec{
+		Graphs: []sweep.GraphSpec{{Family: "gnm", N: 64, M: 256}},
+		K:      []int{5, 6, 7}, Eps: []float64{0.25, 0.1, 0.05},
+		Trials: 500, Seed: 3, Workers: 1,
+	}
+	rows := 0
+	_, err := s.RunSweep(ctx, spec, sweep.FuncSink(func(r *sweep.Result) error {
+		rows++
+		cancel()
+		return nil
+	}))
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep: got %v", err)
+	}
+	if rows >= 9 {
+		t.Fatalf("sweep ran its whole grid (%d rows) despite cancellation", rows)
+	}
+	if st := s.Stats(); st.Failures != 0 {
+		t.Fatalf("a client-cancelled sweep is not a server failure: %+v", st)
+	}
+	if _, err := s.Query(context.Background(), &QueryRequest{
+		Graph: GraphRequest{Family: "gnm", N: 64, M: 256, Seed: 3},
+		K:     5, Reps: 2, Seed: 1,
+	}); err != nil {
+		t.Fatalf("query after a cancelled sweep: %v", err)
+	}
+}
+
+// TestByteWeightedEviction: eviction is driven by summed compiled size
+// (Compiled.MemSize), and the most recently used entry always survives,
+// even alone over budget.
+func TestByteWeightedEviction(t *testing.T) {
+	q := func(t *testing.T, s *Server, n, m int) {
+		t.Helper()
+		if _, err := s.Query(context.Background(), &QueryRequest{
+			Graph: GraphRequest{Family: "gnm", N: n, M: m, Seed: 5},
+			K:     5, Reps: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("two-do-not-fit", func(t *testing.T) {
+		// Budget sized to hold one 64-node core (~12 KiB) but not two.
+		s := NewServer(Options{MaxCacheBytes: 20 << 10})
+		defer s.Close()
+		q(t, s, 64, 256)
+		q(t, s, 64, 192) // over budget together: evicts the first
+		st := s.Stats()
+		if st.Evictions != 1 || st.GraphsCached != 1 {
+			t.Fatalf("byte-weighted eviction: %+v", st)
+		}
+		if st.CacheBytes > st.MaxCacheBytes || st.CacheBytes == 0 {
+			t.Fatalf("cache bytes out of budget: %+v", st)
+		}
+		q(t, s, 64, 256) // the evicted graph re-compiles
+		if st := s.Stats(); st.Compiles != 3 {
+			t.Fatalf("evicted graph should re-compile: %+v", st)
+		}
+	})
+	t.Run("mru-survives-over-budget", func(t *testing.T) {
+		s := NewServer(Options{MaxCacheBytes: 1})
+		defer s.Close()
+		q(t, s, 64, 256)
+		q(t, s, 64, 192)
+		st := s.Stats()
+		if st.GraphsCached != 1 || st.Evictions != 1 {
+			t.Fatalf("an over-budget MRU entry must still serve: %+v", st)
+		}
+	})
+}
+
+// TestInstanceBudgetDegradesAcrossGraphs: with a server-wide budget of 2
+// instances, queries across many distinct graphs keep succeeding — cold
+// graphs' idle instances are reclaimed for hot ones — and the live count
+// never exceeds the budget.
+func TestInstanceBudgetDegradesAcrossGraphs(t *testing.T) {
+	s := NewServer(Options{MaxInstances: 2})
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		n := 10 + i%6 // six distinct graphs round-robin
+		if _, err := s.Query(context.Background(), &QueryRequest{
+			Graph: GraphRequest{Family: "cycle", N: n},
+			K:     5, Reps: 1, Seed: uint64(i),
+		}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if st := s.Stats(); st.InstancesLive > 2 {
+			t.Fatalf("query %d blew the server-wide instance budget: %+v", i, st)
+		}
+	}
+	if st := s.Stats(); st.Failures != 0 || st.Timeouts != 0 {
+		t.Fatalf("degraded-mode queries must all succeed: %+v", st)
 	}
 }
 
@@ -302,6 +484,18 @@ func TestHTTPQueryAndStats(t *testing.T) {
 	}
 	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("stats over HTTP: %+v", st)
+	}
+	// The per-entry breakdown: one cached graph with its compiled size,
+	// hit count, and age, consistent with the byte-weighted totals.
+	if len(st.Entries) != 1 {
+		t.Fatalf("want one cache entry in /stats, got %+v", st.Entries)
+	}
+	e := st.Entries[0]
+	if e.N != 64 || e.M != 256 || e.Bytes <= 0 || e.Hits != 1 || e.AgeSeconds < 0 {
+		t.Fatalf("per-entry stats: %+v", e)
+	}
+	if st.CacheBytes != e.Bytes || st.MaxCacheBytes <= 0 || st.InstanceBudget < 1 {
+		t.Fatalf("byte-weighted totals and budget occupancy: %+v", st)
 	}
 
 	// Malformed and unknown-field payloads are 400s, not 500s.

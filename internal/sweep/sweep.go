@@ -1,19 +1,31 @@
-// Package sweep is a concurrent parameter-sweep scheduler over reusable
-// Networks: a declarative Spec (grids over graph family, k, ε, engine,
-// trials) is expanded into jobs, fanned across a sharded worker pool — each
-// worker owns its own pool of internal/network Networks, built once per
-// (graph, engine) and reused for every trial — and the per-job aggregates
-// are streamed incrementally, in job order, to CSV/JSON sinks.
+// Package sweep is a concurrent parameter-sweep scheduler over compiled
+// network cores: a declarative Spec (grids over graph family, k, ε, engine,
+// trials) is expanded into jobs, fanned across a sharded worker pool, and
+// the per-job aggregates are streamed incrementally, in job order, to
+// CSV/JSON sinks.
+//
+// Trial execution runs on the CoreProvider substrate: a provider hands out
+// exclusive warm network.Instances over shared immutable network.Compiled
+// cores, one checkout per job. The default (standalone) provider compiles
+// each distinct graph exactly once for the whole sweep and pools warm
+// instances per (graph, engine); a serving layer can substitute its own
+// provider so sweep trials run on the SAME cached cores and warm pools its
+// query traffic uses (internal/serve does exactly that for /sweep).
 //
 // This is the workload the paper makes cheap: each trial costs O(1/ε)
 // CONGEST rounds (Theorem 1), so a sweep's cost is dominated by per-run
 // setup unless networks are reused. Streaming emission follows the
 // enumeration-complexity view (incremental time and delay, not batch
 // tables): a consumer sees job i's aggregate as soon as jobs 0..i are done,
-// while later jobs are still running.
+// while later jobs are still running. The same view motivates early
+// termination: every trial runs under the sweep's context via
+// RunProgramCtx, so cancelling it (a killed /sweep stream, a SIGINT) stops
+// work within one CONGEST round — mid-trial, not at trial or job
+// boundaries.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -257,11 +269,15 @@ type graphKey struct {
 	eps float64
 }
 
-func keyFor(j Job) graphKey {
-	if j.Graph.Family == "far" {
-		return graphKey{gs: j.Graph, k: j.K, eps: j.Eps}
+// key identifies the point's built graph. Only the "far" family depends on
+// (k, eps); every other family is shared across the whole grid — which is
+// also what lets a serving provider share one cached core between a sweep's
+// whole (k, ε) grid and its query traffic.
+func (pt TrialPoint) key() graphKey {
+	if pt.Graph.Family == "far" {
+		return graphKey{gs: pt.Graph, k: pt.K, eps: pt.Eps}
 	}
-	return graphKey{gs: j.Graph}
+	return graphKey{gs: pt.Graph}
 }
 
 // buildGraph constructs the graph for a key, deterministically from the
@@ -306,11 +322,147 @@ func trialSeed(base uint64, job, trial int) uint64 {
 	return xrand.Mix64(xrand.Mix64(base+0x9e3779b97f4a7c15*uint64(job+1)) + uint64(trial))
 }
 
-// Run executes the sweep and streams per-job results to the sinks in job
-// order. It returns the first error encountered (spec validation, graph
-// construction, simulation, or sink I/O); on error, results already emitted
-// remain written.
+// TrialPoint names the execution substrate one job's trials need: the graph
+// (as built from Seed, the sweep seed), the engine, and the per-message
+// budget the core must be compiled with. It is the vocabulary between the
+// scheduler and a CoreProvider.
+type TrialPoint struct {
+	Graph GraphSpec
+	// K and Eps matter to graph identity only for the "far" family, whose
+	// construction depends on them (mirroring the scheduler's graph keying).
+	K   int
+	Eps float64
+	// Seed is the sweep seed the graph is deterministically built from.
+	Seed uint64
+	// Engine selects the execution engine of the checked-out instance.
+	Engine network.Engine
+	// BandwidthBits is the per-message budget the core enforces (0 = none).
+	BandwidthBits int
+}
+
+// CoreProvider supplies the execution substrate for sweep trials: an
+// exclusive warm network.Instance attached to a compiled core for the given
+// point. Acquire blocks (bounded by ctx) when the provider's instances are
+// exhausted; the returned release func MUST be called exactly once when the
+// job's trials are done and returns the instance to the provider — callers
+// never Close it. Implementations decide how cores are cached and shared:
+// the scheduler's default provider compiles each distinct graph once per
+// sweep, while internal/serve serves sweeps straight from the LRU of
+// compiled cores (and warm instance pools) its query traffic already keeps
+// hot.
+type CoreProvider interface {
+	Acquire(ctx context.Context, pt TrialPoint) (*network.Instance, func(), error)
+}
+
+// localProvider is the standalone substrate: one Compiled per distinct
+// graph for the whole sweep (built under a per-key Once, so distinct graphs
+// compile concurrently) and a pool of warm instances per (graph, engine).
+type localProvider struct {
+	seed    uint64
+	workers int // BSP width per instance
+
+	mu    sync.Mutex
+	cores map[graphKey]*coreEntry
+	idle  map[localInstKey][]*network.Instance
+}
+
+type coreEntry struct {
+	once sync.Once
+	c    *network.Compiled
+	err  error
+}
+
+type localInstKey struct {
+	gk     graphKey
+	engine network.Engine
+}
+
+func newLocalProvider(spec *Spec, nwWorkers int) *localProvider {
+	return &localProvider{
+		seed:    spec.Seed,
+		workers: nwWorkers,
+		cores:   map[graphKey]*coreEntry{},
+		idle:    map[localInstKey][]*network.Instance{},
+	}
+}
+
+// Acquire implements CoreProvider. It never blocks: the scheduler runs at
+// most `workers` jobs at once and each holds one instance, so the pool's
+// population is bounded by the worker count.
+func (p *localProvider) Acquire(ctx context.Context, pt TrialPoint) (*network.Instance, func(), error) {
+	gk := pt.key()
+	ik := localInstKey{gk: gk, engine: pt.Engine}
+
+	p.mu.Lock()
+	if pool := p.idle[ik]; len(pool) > 0 {
+		inst := pool[len(pool)-1]
+		p.idle[ik] = pool[:len(pool)-1]
+		p.mu.Unlock()
+		return inst, func() { p.release(ik, inst) }, nil
+	}
+	e, ok := p.cores[gk]
+	if !ok {
+		e = &coreEntry{}
+		p.cores[gk] = e
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() {
+		g, err := buildGraph(gk, p.seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// The point's budget, not a provider-wide copy: the TrialPoint
+		// carries the full compile contract, so any CoreProvider that
+		// honors it the way this one does is interchangeable.
+		e.c, e.err = network.Compile(g, network.CompileOptions{BandwidthBits: pt.BandwidthBits})
+	})
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	inst, err := e.c.NewInstance(network.InstanceOptions{Engine: pt.Engine, Workers: p.workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, func() { p.release(ik, inst) }, nil
+}
+
+func (p *localProvider) release(ik localInstKey, inst *network.Instance) {
+	p.mu.Lock()
+	p.idle[ik] = append(p.idle[ik], inst)
+	p.mu.Unlock()
+}
+
+// close releases every pooled engine. Callers (RunCtx) only invoke it after
+// all workers have released their instances.
+func (p *localProvider) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pool := range p.idle {
+		for _, inst := range pool {
+			inst.Close()
+		}
+	}
+	p.idle = map[localInstKey][]*network.Instance{}
+}
+
+// Run executes the sweep on the standalone substrate and streams per-job
+// results to the sinks in job order. It returns the first error encountered
+// (spec validation, graph construction, simulation, or sink I/O); on error,
+// results already emitted remain written.
 func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
+	return RunCtx(context.Background(), spec, nil, sinks...)
+}
+
+// RunCtx is Run with a cancellation boundary and a pluggable execution
+// substrate. Cancelling ctx aborts the sweep mid-trial — every trial runs
+// under ctx via RunProgramCtx, so in-flight CONGEST runs stop within one
+// round, not at trial boundaries — and RunCtx returns the context's error.
+// provider supplies compiled cores and warm instances for the trials; nil
+// selects the standalone per-sweep provider (compile each distinct graph
+// once, pool instances per graph and engine).
+func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sink) (*Summary, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -327,48 +479,40 @@ func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	// Split the cores between scheduler workers and each network's BSP
-	// pool, so total parallelism tracks the hardware.
-	nwWorkers := runtime.GOMAXPROCS(0) / workers
-	if nwWorkers < 1 {
-		nwWorkers = 1
-	}
-
-	// Graphs are immutable and shared across workers; build each key once.
-	// The map mutex is held only for entry lookup — construction itself runs
-	// under a per-key Once, so distinct graphs build concurrently.
-	type graphEntry struct {
-		once sync.Once
-		g    *graph.Graph
-		err  error
-	}
-	var (
-		graphMu sync.Mutex
-		graphs  = map[graphKey]*graphEntry{}
-	)
-	getGraph := func(key graphKey) (*graph.Graph, error) {
-		graphMu.Lock()
-		e, ok := graphs[key]
-		if !ok {
-			e = &graphEntry{}
-			graphs[key] = e
+	if provider == nil {
+		// Split the cores between scheduler workers and each instance's BSP
+		// pool, so total parallelism tracks the hardware.
+		nwWorkers := runtime.GOMAXPROCS(0) / workers
+		if nwWorkers < 1 {
+			nwWorkers = 1
 		}
-		graphMu.Unlock()
-		e.once.Do(func() { e.g, e.err = buildGraph(key, spec.Seed) })
-		return e.g, e.err
+		local := newLocalProvider(spec, nwWorkers)
+		defer local.close()
+		provider = local
 	}
 
+	// firstErr is guarded by failMu, not a sync.Once: the context watcher
+	// below writes it from its own goroutine, and when cancellation races
+	// sweep COMPLETION no worker is left to forward a happens-before edge
+	// to the final read.
 	var (
-		failOnce sync.Once
+		failMu   sync.Mutex
 		firstErr error
 		cancel   = make(chan struct{})
 	)
 	fail := func(err error) {
-		failOnce.Do(func() {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if firstErr == nil {
 			firstErr = err
 			close(cancel)
-		})
+		}
 	}
+	// Context cancellation rides the same first-error path the workers use,
+	// so the feeder and every worker unwind promptly; in-flight trials are
+	// cut off by RunProgramCtx itself.
+	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
+	defer stopWatch()
 
 	jobCh := make(chan Job)
 	resCh := make(chan Result, workers)
@@ -377,7 +521,7 @@ func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			worker(spec, nwWorkers, getGraph, jobCh, resCh, cancel, fail)
+			worker(ctx, spec, provider, jobCh, resCh, cancel, fail)
 		}()
 	}
 	go func() {
@@ -423,8 +567,11 @@ func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
 			fail(fmt.Errorf("sweep: sink flush: %w", err))
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	failMu.Lock()
+	err := firstErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return &Summary{
 		Name: spec.Name, Jobs: len(jobs), Skipped: skipped,
@@ -432,23 +579,13 @@ func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
 	}, nil
 }
 
-// worker drains jobs, reusing one Network per (graph, engine) across every
-// job and trial routed to it. Networks are worker-private (RunProgram is
-// not concurrency-safe) and closed when the worker exits.
-func worker(spec *Spec, nwWorkers int,
-	getGraph func(graphKey) (*graph.Graph, error),
+// worker drains jobs, checking an exclusive warm instance out of the
+// provider per job (released when the job's trials are done, so the warmth
+// flows back into the shared pool — and, with a serving provider, to query
+// traffic on the same graph). Every trial runs under ctx, so cancellation
+// cuts work off mid-run.
+func worker(ctx context.Context, spec *Spec, provider CoreProvider,
 	jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{}, fail func(error)) {
-
-	type netKey struct {
-		gk     graphKey
-		engine congest.Engine
-	}
-	nets := map[netKey]*network.Network{}
-	defer func() {
-		for _, nw := range nets {
-			nw.Close()
-		}
-	}()
 
 	for job := range jobCh {
 		select {
@@ -456,63 +593,63 @@ func worker(spec *Spec, nwWorkers int,
 			return
 		default:
 		}
-		gk := keyFor(job)
-		g, err := getGraph(gk)
+		inst, release, err := provider.Acquire(ctx, TrialPoint{
+			Graph: job.Graph, K: job.K, Eps: job.Eps,
+			Seed: spec.Seed, Engine: job.Engine, BandwidthBits: spec.BandwidthBits,
+		})
+		if err != nil {
+			fail(fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s): %w",
+				job.Index, job.Graph, job.K, job.Eps, job.Engine, err))
+			return
+		}
+		r, err := runJob(ctx, inst, spec, job)
+		release()
 		if err != nil {
 			fail(err)
 			return
 		}
-		nk := netKey{gk: gk, engine: job.Engine}
-		nw, ok := nets[nk]
-		if !ok {
-			nw, err = network.New(g, network.Options{
-				Engine:        job.Engine,
-				BandwidthBits: spec.BandwidthBits,
-				Workers:       nwWorkers,
-			})
-			if err != nil {
-				fail(err)
-				return
-			}
-			nets[nk] = nw
-		}
-
-		// One Program value for all trials: with congest.ReusableNode
-		// support the Network re-binds the cached per-node state instead of
-		// rebuilding it, making steady-state trials allocation-free.
-		prog := &core.Tester{K: job.K, Eps: job.Eps, Reps: spec.Reps}
-		r := Result{Job: job, N: g.N(), M: g.M(), Trials: spec.Trials, Reps: prog.Repetitions()}
-		jobStart := time.Now()
-		var sumMsgs, sumBits int64
-		for t := 0; t < spec.Trials; t++ {
-			res, err := nw.RunProgram(prog, trialSeed(spec.Seed, job.SeedKey, t))
-			if err != nil {
-				fail(fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s) trial %d: %w",
-					job.Index, job.Graph, job.K, job.Eps, job.Engine, t, err))
-				return
-			}
-			dec := core.Summarize(res.Outputs, res.IDs)
-			if dec.Reject {
-				r.Rejects++
-			}
-			if dec.MaxSeqs > r.MaxSeqs {
-				r.MaxSeqs = dec.MaxSeqs
-			}
-			r.Rounds = res.Stats.Rounds
-			sumMsgs += res.Stats.MessagesSent
-			sumBits += res.Stats.TotalBits
-			if res.Stats.MaxMessageBits > r.MaxMessageBits {
-				r.MaxMessageBits = res.Stats.MaxMessageBits
-			}
-		}
-		r.RejectRate = float64(r.Rejects) / float64(r.Trials)
-		r.AvgMessages = float64(sumMsgs) / float64(r.Trials)
-		r.AvgBits = float64(sumBits) / float64(r.Trials)
-		r.Elapsed = time.Since(jobStart)
 		select {
 		case resCh <- r:
 		case <-cancel:
 			return
 		}
 	}
+}
+
+// runJob executes one job's trials on a checked-out instance and aggregates
+// them into its Result row.
+func runJob(ctx context.Context, inst *network.Instance, spec *Spec, job Job) (Result, error) {
+	g := inst.Graph()
+	// One Program value for all trials: with congest.ReusableNode support
+	// the instance re-binds the cached per-node state instead of rebuilding
+	// it, making steady-state trials allocation-free.
+	prog := &core.Tester{K: job.K, Eps: job.Eps, Reps: spec.Reps}
+	r := Result{Job: job, N: g.N(), M: g.M(), Trials: spec.Trials, Reps: prog.Repetitions()}
+	jobStart := time.Now()
+	var sumMsgs, sumBits int64
+	for t := 0; t < spec.Trials; t++ {
+		res, err := inst.RunProgramCtx(ctx, prog, trialSeed(spec.Seed, job.SeedKey, t))
+		if err != nil {
+			return r, fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s) trial %d: %w",
+				job.Index, job.Graph, job.K, job.Eps, job.Engine, t, err)
+		}
+		dec := core.Summarize(res.Outputs, res.IDs)
+		if dec.Reject {
+			r.Rejects++
+		}
+		if dec.MaxSeqs > r.MaxSeqs {
+			r.MaxSeqs = dec.MaxSeqs
+		}
+		r.Rounds = res.Stats.Rounds
+		sumMsgs += res.Stats.MessagesSent
+		sumBits += res.Stats.TotalBits
+		if res.Stats.MaxMessageBits > r.MaxMessageBits {
+			r.MaxMessageBits = res.Stats.MaxMessageBits
+		}
+	}
+	r.RejectRate = float64(r.Rejects) / float64(r.Trials)
+	r.AvgMessages = float64(sumMsgs) / float64(r.Trials)
+	r.AvgBits = float64(sumBits) / float64(r.Trials)
+	r.Elapsed = time.Since(jobStart)
+	return r, nil
 }

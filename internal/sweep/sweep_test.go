@@ -2,12 +2,16 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
+	"cycledetect/internal/network"
 )
 
 func demoSpec() *Spec {
@@ -112,7 +116,7 @@ func TestSweepMatchesDirectRuns(t *testing.T) {
 	jobs, _ := spec.Jobs()
 	results := collect(t, spec)
 	for i, job := range jobs {
-		g, err := buildGraph(keyFor(job), spec.Seed)
+		g, err := buildGraph(TrialPoint{Graph: job.Graph, K: job.K, Eps: job.Eps}.key(), spec.Seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,4 +304,86 @@ func TestJSONSinkLines(t *testing.T) {
 			t.Fatalf("bad JSON line: %s", ln)
 		}
 	}
+}
+
+// TestRunCtxCancelStopsMidGrid: cancelling the sweep context after the
+// first row aborts the sweep — the scheduler returns the context error and
+// stops emitting, even though most of the grid (and most trials of the
+// in-flight jobs) is still pending. In-flight trials are cut off inside
+// RunProgramCtx, not at trial boundaries.
+func TestRunCtxCancelStopsMidGrid(t *testing.T) {
+	spec := &Spec{
+		Graphs:  []GraphSpec{{Family: "gnm", N: 64, M: 256}},
+		K:       []int{5, 6, 7},
+		Eps:     []float64{0.25, 0.1, 0.05},
+		Trials:  200,
+		Seed:    7,
+		Workers: 1, // serialize so "after the first row" is well defined
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	_, err := RunCtx(ctx, spec, nil, FuncSink(func(r *Result) error {
+		rows++
+		cancel()
+		return nil
+	}))
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want the context error through the failure path, got: %v", err)
+	}
+	if rows >= 9 {
+		t.Fatalf("sweep ran the whole grid (%d rows) despite cancellation", rows)
+	}
+}
+
+// TestRunCtxCustomProvider: the scheduler runs every trial on instances the
+// provider hands out (and releases each one), with results identical to the
+// standalone substrate — the contract internal/serve relies on to route
+// /sweep trials through its query-traffic cache.
+func TestRunCtxCustomProvider(t *testing.T) {
+	spec := demoSpec()
+	want := collect(t, spec)
+
+	prov := &countingProvider{inner: newLocalProvider(spec, 1)}
+	defer prov.inner.close()
+	var got []Result
+	if _, err := RunCtx(context.Background(), spec, prov, FuncSink(func(r *Result) error {
+		got = append(got, *r)
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if prov.acquires.Load() == 0 || prov.acquires.Load() != prov.releases.Load() {
+		t.Fatalf("provider bookkeeping: %d acquires, %d releases",
+			prov.acquires.Load(), prov.releases.Load())
+	}
+	stripElapsed := func(rs []Result) []Result {
+		out := make([]Result, len(rs))
+		for i, r := range rs {
+			r.Elapsed = 0
+			out[i] = r
+		}
+		return out
+	}
+	if !reflect.DeepEqual(stripElapsed(want), stripElapsed(got)) {
+		t.Fatal("provider-substrate results differ from the standalone substrate")
+	}
+}
+
+// countingProvider wraps the local provider and counts checkouts.
+type countingProvider struct {
+	inner              *localProvider
+	acquires, releases atomic.Int64
+}
+
+func (p *countingProvider) Acquire(ctx context.Context, pt TrialPoint) (*network.Instance, func(), error) {
+	inst, release, err := p.inner.Acquire(ctx, pt)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.acquires.Add(1)
+	return inst, func() { p.releases.Add(1); release() }, nil
 }
