@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"cycledetect/internal/network"
 	"cycledetect/internal/serve"
 )
 
@@ -47,16 +48,34 @@ func main() {
 		nwWorkers     = flag.Int("network-workers", 1, "BSP workers inside each instance")
 		bandwidth     = flag.Int("bandwidth-bits", 0, "per-message budget in bits (0 = unenforced)")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		// Overload controls (see the README's "Overload behavior" runbook):
+		// what saturates answers 429 + Retry-After instead of parking to 504.
+		maxInstBytes = flag.Int64("max-instance-bytes", 0, "byte budget of live instances, weighted by compiled size (0 = default 256 MiB, negative = unbounded)")
+		maxQueue     = flag.Int("max-queue-depth", 0, "bound on every admission wait queue; arrivals past it shed with 429 (0 = default 64, negative = unbounded)")
+		maxQueries   = flag.Int("max-concurrent-queries", 0, "queries in service at once (0 = default max(4*instances, 2*GOMAXPROCS), negative = ungated)")
+		maxSweeps    = flag.Int("max-concurrent-sweeps", 0, "sweeps in service at once (0 = default 8, negative = ungated)")
+		faultRate    = flag.Float64("fault-rate", 0, "CHAOS MODE: inject an engine fault (panic/bandwidth/cancel) into about this fraction of runs")
 	)
 	flag.Parse()
 
+	var faults *network.FaultPlan
+	if *faultRate > 0 {
+		faults = &network.FaultPlan{Decide: network.RandomFaults(*faultRate)}
+		log.Printf("serve: CHAOS MODE: injecting faults into ~%.0f%% of runs", *faultRate*100)
+	}
 	srv := serve.NewServer(serve.Options{
-		MaxGraphs:      *maxGraphs,
-		MaxCacheBytes:  *maxCacheBytes,
-		MaxInstances:   *maxInstances,
-		QueryTimeout:   *timeout,
-		NetworkWorkers: *nwWorkers,
-		BandwidthBits:  *bandwidth,
+		MaxGraphs:            *maxGraphs,
+		MaxCacheBytes:        *maxCacheBytes,
+		MaxInstances:         *maxInstances,
+		QueryTimeout:         *timeout,
+		NetworkWorkers:       *nwWorkers,
+		BandwidthBits:        *bandwidth,
+		MaxInstanceBytes:     *maxInstBytes,
+		MaxQueueDepth:        *maxQueue,
+		MaxConcurrentQueries: *maxQueries,
+		MaxConcurrentSweeps:  *maxSweeps,
+		Faults:               faults,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -10,10 +10,18 @@
 //	go run ./examples/serve                      # in-process server
 //	go run ./examples/serve -addr host:8344      # against a running cmd/serve
 //	go run ./examples/serve -clients 32 -queries 50
+//	go run ./examples/serve -overload -queries 10
 //
 // With -addr unset it starts an in-process serve.Server on a loopback
 // listener, so the whole demo is one command (this is also what `make
 // load` runs).
+//
+// With -overload the in-process server gets a deliberately tiny budget
+// (2 instances, 4 concurrent queries, wait queue of 2) while the same
+// client fleet keeps hammering: shed requests come back as 429s, clients
+// back off by the server's Retry-After hint (jittered) and retry, and the
+// demo prints the shed/retry counts next to the server's own resilience
+// counters — the overload runbook, live.
 package main
 
 import (
@@ -22,11 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cycledetect/internal/serve"
@@ -34,12 +45,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "server address (empty = start an in-process server)")
-		clients = flag.Int("clients", 16, "concurrent clients")
-		queries = flag.Int("queries", 25, "queries per client")
-		k       = flag.Int("k", 7, "cycle length")
-		eps     = flag.Float64("eps", 0.1, "property-testing parameter")
-		engine  = flag.String("engine", "bsp", "simulation engine")
+		addr     = flag.String("addr", "", "server address (empty = start an in-process server)")
+		clients  = flag.Int("clients", 16, "concurrent clients")
+		queries  = flag.Int("queries", 25, "queries per client")
+		k        = flag.Int("k", 7, "cycle length")
+		eps      = flag.Float64("eps", 0.1, "property-testing parameter")
+		engine   = flag.String("engine", "bsp", "simulation engine")
+		overload = flag.Bool("overload", false, "shrink the in-process server's budget far below the offered load and demonstrate shed/retry behavior")
 	)
 	flag.Parse()
 
@@ -47,7 +59,11 @@ func main() {
 	if *addr == "" {
 		// One command, no daemon: serve from inside the process over a real
 		// loopback socket, so the demo still exercises HTTP end to end.
-		srv := serve.NewServer(serve.Options{})
+		opts := serve.Options{}
+		if *overload {
+			opts = serve.Options{MaxInstances: 2, MaxConcurrentQueries: 4, MaxQueueDepth: 2}
+		}
+		srv := serve.NewServer(opts)
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -73,8 +89,12 @@ func main() {
 	}
 
 	total := *clients * *queries
-	fmt.Printf("%d clients × %d queries, k=%d eps=%g engine=%s, one shared gnm(256,1024) graph\n",
-		*clients, *queries, *k, *eps, *engine)
+	mode := ""
+	if *overload {
+		mode = ", OVERLOAD (budget 2 instances / 4 concurrent / queue 2)"
+	}
+	fmt.Printf("%d clients × %d queries, k=%d eps=%g engine=%s, one shared gnm(256,1024) graph%s\n",
+		*clients, *queries, *k, *eps, *engine, mode)
 
 	type result struct {
 		latency time.Duration
@@ -82,6 +102,7 @@ func main() {
 		reject  bool
 	}
 	results := make([]result, total)
+	var shed, retries atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -91,21 +112,40 @@ func main() {
 			for q := 0; q < *queries; q++ {
 				i := c**queries + q
 				t0 := time.Now()
-				resp, err := http.Post(base+"/query", "application/json",
-					bytes.NewReader(reqBody(uint64(i)+1)))
-				if err != nil {
-					fatal(err)
+				for attempt := 0; ; attempt++ {
+					resp, err := http.Post(base+"/query", "application/json",
+						bytes.NewReader(reqBody(uint64(i)+1)))
+					if err != nil {
+						fatal(err)
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if *overload && resp.StatusCode == http.StatusTooManyRequests {
+						// Shed: honor the server's Retry-After hint with
+						// jitter (×[1,1.5)), so the retry wave doesn't arrive
+						// as one synchronized thundering herd.
+						shed.Add(1)
+						if attempt >= 20 {
+							fatal(fmt.Errorf("query %d: still shed after %d retries: %s", i, attempt, body))
+						}
+						secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+						if err != nil || secs < 1 {
+							fatal(fmt.Errorf("query %d: malformed 429 Retry-After %q", i, resp.Header.Get("Retry-After")))
+						}
+						retries.Add(1)
+						time.Sleep(time.Duration(float64(secs) * float64(time.Second) * (1 + rand.Float64()/2)))
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						fatal(fmt.Errorf("query %d: HTTP %d: %s", i, resp.StatusCode, body))
+					}
+					var qr serve.QueryResponse
+					if err := json.Unmarshal(body, &qr); err != nil {
+						fatal(err)
+					}
+					results[i] = result{latency: time.Since(t0), cache: qr.Cache, reject: qr.Rejected}
+					break
 				}
-				var qr serve.QueryResponse
-				body, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					fatal(fmt.Errorf("query %d: HTTP %d: %s", i, resp.StatusCode, body))
-				}
-				if err := json.Unmarshal(body, &qr); err != nil {
-					fatal(err)
-				}
-				results[i] = result{latency: time.Since(t0), cache: qr.Cache, reject: qr.Rejected}
 			}
 		}(c)
 	}
@@ -135,6 +175,10 @@ func main() {
 		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	fmt.Printf("verdicts: %d rejected / %d (distinct seeds; each rejection certifies a real C%d)\n",
 		rejects, total, *k)
+	if *overload {
+		fmt.Printf("overload: %d sheds (429) absorbed by %d client retries; every query still completed\n",
+			shed.Load(), retries.Load())
+	}
 
 	// Sweep over the SAME graph: trials run on the compiled core the query
 	// traffic just warmed, so the row stream below costs zero compiles.
@@ -177,6 +221,8 @@ func main() {
 	fmt.Printf("server: graphs_cached=%d cache_bytes=%d compiles=%d instances_live=%d/%d hit_rate=%.3f timeouts=%d failures=%d\n",
 		st.GraphsCached, st.CacheBytes, st.Compiles, st.InstancesLive, st.InstanceBudget,
 		st.HitRate, st.Timeouts, st.Failures)
+	fmt.Printf("server: shed=%d queue_high_water=%d retries=%d faults_injected=%d panics_recovered=%d\n",
+		st.Shed, st.QueueHighWater, st.Retries, st.FaultsInjected, st.PanicsRecovered)
 	for _, e := range st.Entries {
 		fmt.Printf("  entry %s: n=%d m=%d bytes=%d hits=%d age=%.1fs idle=%d\n",
 			e.Key, e.N, e.M, e.Bytes, e.Hits, e.AgeSeconds, e.InstancesIdle)

@@ -164,6 +164,13 @@ type Instance struct {
 	ctxDone  <-chan struct{}
 	chCancel atomic.Uint64
 
+	// Fault-injection state, armed per run by armFault from
+	// iopts.Faults (see fault.go). faultOn is false on every run of a
+	// plan-less instance, so the engine-loop guards cost one bool load.
+	fault       FaultDecision
+	faultOn     bool
+	faultCancel context.CancelCauseFunc
+
 	// Channels engine state: the per-directed-edge channel fabric plus one
 	// persistent goroutine per node, parked on chStart between runs.
 	ch        [][]chan []byte
@@ -290,6 +297,15 @@ func (nw *Instance) buildBSP() {
 		st := &nw.perWorker[w]
 		budget := nw.c.opts.BandwidthBits
 		for v := lo; v < hi; v++ {
+			// An injected bandwidth violation is recorded before the real
+			// delivery scan, at the same receiver-side rank a real oversized
+			// payload would earn, so the deterministic error selection (and
+			// the channels engine, which injects at the same point) agree.
+			if nw.faultOn && nw.fault.Kind == FaultBandwidth &&
+				nw.round == nw.fault.Round && v == nw.fault.Node && nw.errs[v].err == nil {
+				nw.errs[v] = nodeErr{rank: sendRank(nw.round), err: nw.injectedBandwidthErr(v, nw.round)}
+				nw.hasErr[w] = true
+			}
 			ns := g.Neighbors(v)
 			rp := nw.c.topo.RevPorts(v)
 			for pt := range nw.in[v] {
@@ -335,6 +351,12 @@ func (nw *Instance) buildBSP() {
 // methods (not closures) so the BSP hot path stays allocation-free.
 func (nw *Instance) sendNode(w, v int) {
 	defer nw.catchNode(w, v, "Send")
+	if nw.faultOn && nw.fault.Kind == FaultPanic &&
+		nw.round == nw.fault.Round && v == nw.fault.Node {
+		// Panic inside the catch scope: an injected panic takes exactly the
+		// recovery path a program bug would.
+		panic(injectedPanic{})
+	}
 	nw.nodes[v].Send(nw.round, nw.out[v])
 }
 
@@ -361,7 +383,11 @@ func (nw *Instance) catchNode(w, v int, what string) {
 }
 
 func panicError(id ID, what string, round int, p any) error {
-	return fmt.Errorf("congest: node %d panicked in %s (round %d): %v", id, what, round, p)
+	err := fmt.Errorf("congest: node %d panicked in %s (round %d): %v", id, what, round, p)
+	if _, ok := p.(injectedPanic); ok {
+		return &ErrInjected{Kind: FaultPanic, Err: err}
+	}
+	return err
 }
 
 // buildChannels allocates the α-synchronizer engine's persistent
@@ -482,11 +508,15 @@ func (nw *Instance) RunProgram(p Program, seed uint64) (*Result, error) {
 // never be cancelled (context.Background) costs nothing per round, so
 // steady-state reused runs remain allocation-free with the hook in place.
 func (nw *Instance) RunProgramCtx(ctx context.Context, p Program, seed uint64) (*Result, error) {
-	if err := ctx.Err(); err != nil {
+	if ctx.Err() != nil {
 		// Nothing ran: the instance is untouched and stays warm.
-		return nil, &ErrCanceled{Round: 0, Cause: err}
+		return nil, &ErrCanceled{Round: 0, Cause: context.Cause(ctx)}
 	}
 	rounds := nw.prepare(p, seed)
+	if nw.iopts.Faults != nil {
+		ctx = nw.armFault(ctx, seed, rounds)
+		defer nw.disarmFault()
+	}
 	if nw.Engine() == EngineChannels {
 		return nw.runChannels(ctx, rounds)
 	}
@@ -564,11 +594,18 @@ func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 		nw.pool.Run(fn)
 	}
 	for nw.round = 1; nw.round <= rounds; nw.round++ {
+		// An injected cancellation fires at its chosen round's barrier,
+		// through the run's own cancellable context, so everything below —
+		// the poll, the abort, the recovery — is the real client-abandon
+		// path, not a shortcut.
+		if nw.faultOn && nw.fault.Kind == FaultCancel && nw.round >= nw.fault.Round {
+			nw.fireFaultCancel()
+		}
 		// The cancellation check rides the existing round barrier: one
 		// non-blocking poll per round, before the round's first phase, so an
 		// abort never leaves a round half-executed.
 		if pollDone(done) {
-			return nil, nw.runCanceled(nw.round-1, ctx.Err())
+			return nil, nw.runCanceled(nw.round-1, context.Cause(ctx))
 		}
 		runPhase(nw.sendPhase)
 		runPhase(nw.deliverPhase)
@@ -582,7 +619,7 @@ func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 		// cancelled reports ErrCanceled on either engine.
 		if nw.anyWorkerErr() {
 			if pollDone(done) {
-				return nil, nw.runCanceled(nw.round-1, ctx.Err())
+				return nil, nw.runCanceled(nw.round-1, context.Cause(ctx))
 			}
 			return nil, nw.runFailed()
 		}
@@ -590,12 +627,12 @@ func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 	}
 	if nw.anyWorkerErr() { // Receive panics in the final round
 		if pollDone(done) {
-			return nil, nw.runCanceled(rounds, ctx.Err())
+			return nil, nw.runCanceled(rounds, context.Cause(ctx))
 		}
 		return nil, nw.runFailed()
 	}
 	if pollDone(done) { // mirror the channels engine: a cancelled run computes no outputs
-		return nil, nw.runCanceled(rounds, ctx.Err())
+		return nil, nw.runCanceled(rounds, context.Cause(ctx))
 	}
 	runPhase(nw.outputPhase)
 	if nw.anyWorkerErr() { // Output panics (cancellation already checked above)
@@ -646,7 +683,7 @@ func (nw *Instance) runChannels(ctx context.Context, rounds int) (*Result, error
 	nw.ctxDone = nil
 
 	if stop := nw.chCancel.Load() >> 32; stop != chNoStop {
-		return nil, nw.runCanceled(int(stop), ctx.Err())
+		return nil, nw.runCanceled(int(stop), context.Cause(ctx))
 	}
 	if nw.abortRank.Load() != noAbort {
 		return nil, nw.runFailed()
@@ -747,7 +784,14 @@ func (cn *chanNode) recordFailure(rank int, err error) {
 // when a node actually panics.
 func (cn *chanNode) send(out [][]byte) {
 	defer cn.catch("Send")
-	cn.nw.nodes[cn.v].Send(cn.round, out)
+	nw := cn.nw
+	if nw.faultOn && nw.fault.Kind == FaultPanic &&
+		cn.round == nw.fault.Round && cn.v == nw.fault.Node {
+		// Mirror the BSP engine: the injected panic unwinds through the
+		// same catch hook a real Send panic would.
+		panic(injectedPanic{})
+	}
+	nw.nodes[cn.v].Send(cn.round, out)
 }
 
 func (cn *chanNode) receive(in [][]byte) {
@@ -782,6 +826,12 @@ func (cn *chanNode) run() {
 	rounds := nw.chRounds
 	ctxDone := nw.ctxDone
 	for r := 1; r <= rounds; r++ {
+		// An injected cancellation: the chosen node cancels the run's own
+		// context at its chosen round; the stop-round agreement below then
+		// winds every node down exactly as a real client abandon would.
+		if nw.faultOn && nw.fault.Kind == FaultCancel && v == nw.fault.Node && r >= nw.fault.Round {
+			nw.fireFaultCancel()
+		}
 		if ctxDone != nil { // the run context can cancel: poll + commit
 			if pollDone(ctxDone) {
 				nw.chCancelRun()
@@ -814,6 +864,13 @@ func (cn *chanNode) run() {
 			}
 			// Push into the neighbor's inbound channel for the edge.
 			nw.ch[int(ns[pt])][rp[pt]] <- payload
+		}
+		// An injected bandwidth violation is recorded before the real
+		// delivery scan (recordFailure keeps only the node's first error),
+		// mirroring the BSP engine's injection point so the cross-engine
+		// error selection resolves identically.
+		if nw.faultOn && nw.fault.Kind == FaultBandwidth && r == nw.fault.Round && v == nw.fault.Node {
+			cn.recordFailure(sendRank(r), nw.injectedBandwidthErr(v, r))
 		}
 		for pt := 0; pt < deg; pt++ {
 			payload := <-nw.ch[v][pt]

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
+	"time"
 
 	"cycledetect/internal/sweep"
 )
@@ -20,6 +23,10 @@ import (
 //	               text/event-stream (Accept header or ?format=sse).
 //	GET  /stats  — cache hit rates, in-flight counts, pool occupancy.
 //	GET  /healthz — liveness probe.
+//
+// Overloaded requests (see admission.go) answer 429 with a Retry-After
+// header; every handler runs under a panic-isolating middleware, so one
+// poisoned request answers 500 instead of killing the process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -29,7 +36,44 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics isolates handler panics to their own request: counted,
+// logged with a stack, answered 500 when the response has not started. It
+// re-panics http.ErrAbortHandler (net/http's own "drop this connection"
+// signal, raised on write-after-client-gone) so it keeps its meaning.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panics.Add(1)
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already streamed a body this
+			// write fails or corrupts a dead stream, both harmless.
+			httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("serve: internal error handling %s %s", r.Method, r.URL.Path))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeOverloaded answers a shed request: 429, a Retry-After header in
+// whole seconds (rounded up, floor 1 — the granularity HTTP gives us), and
+// the uniform JSON error envelope with the server's finer-grained hint.
+func writeOverloaded(w http.ResponseWriter, ov *ErrOverloaded) {
+	secs := int((ov.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusTooManyRequests, ov)
 }
 
 // httpError is the uniform error envelope.
@@ -56,7 +100,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Query(r.Context(), &req)
 	if err != nil {
+		var ov *ErrOverloaded
 		switch {
+		case errors.As(err, &ov):
+			writeOverloaded(w, ov)
 		case errors.Is(err, context.DeadlineExceeded):
 			httpError(w, http.StatusGatewayTimeout, err)
 		case errors.Is(err, context.Canceled):
@@ -87,6 +134,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		log.Printf("serve: sweep %q: %s", spec.Name, warn)
 	}
 
+	// Admission happens BEFORE the 200 header and stream framing are
+	// committed: a shed sweep is a clean 429 the client's retry logic can
+	// parse, not an "error" event buried in a stream that claimed success.
+	release, err := s.admitSweep(r.Context())
+	if err != nil {
+		var ov *ErrOverloaded
+		switch {
+		case errors.As(err, &ov):
+			writeOverloaded(w, ov)
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, err)
+		default:
+			httpError(w, http.StatusRequestTimeout, err)
+		}
+		return
+	}
+	defer release()
+
 	sse := r.URL.Query().Get("format") == "sse" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	sink := sweep.NewHTTPSink(w, sse)
@@ -98,7 +163,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The request context carries cancellation end to end: a client that
 	// kills the stream aborts the in-flight trials at their next CONGEST
 	// round barrier, not at trial or job boundaries.
-	sum, err := s.RunSweep(r.Context(), &spec, sink)
+	sum, err := s.runSweep(r.Context(), &spec, sink)
 	if derr := sink.Done(sum, err); derr != nil && err == nil {
 		log.Printf("serve: sweep %q: stream close: %v", spec.Name, derr)
 	}

@@ -99,6 +99,31 @@ type Options struct {
 	// SweepWorkers caps the scheduler workers of /sweep requests (default
 	// GOMAXPROCS; a spec asking for more is clamped).
 	SweepWorkers int
+	// MaxInstanceBytes bounds live instances by the bytes they pin
+	// (Compiled.MemSize per instance), alongside the MaxInstances count
+	// bound, so a budget of N instances cannot silently become N giant
+	// graphs (default 256 MiB; negative disables the byte bound). Like the
+	// cache bound, the first instance always spawns, so one over-budget
+	// giant still serves.
+	MaxInstanceBytes int64
+	// MaxQueueDepth bounds every admission wait queue — the per-endpoint
+	// gates AND the instance-budget wait (default 64; negative disables
+	// the bound). A request arriving at a full queue is shed immediately
+	// with *ErrOverloaded (HTTP 429 + Retry-After) instead of parking
+	// until its deadline turns it into a 504.
+	MaxQueueDepth int
+	// MaxConcurrentQueries caps queries in service at once; excess
+	// queries park in the bounded admission queue (default
+	// max(4×MaxInstances, 2×GOMAXPROCS); negative disables the gate).
+	MaxConcurrentQueries int
+	// MaxConcurrentSweeps caps sweeps in service at once (default 8;
+	// negative disables the gate). Sweeps are long-lived and fan out over
+	// the shared instance budget, so the default is deliberately small.
+	MaxConcurrentSweeps int
+	// Faults, when non-nil, injects engine faults into served runs via
+	// network.InstanceOptions — the soak tests' chaos mode. Production
+	// servers leave it nil.
+	Faults *network.FaultPlan
 }
 
 // defaultQueryTimeout bounds queries when Options.QueryTimeout is zero.
@@ -159,29 +184,89 @@ func (o Options) sweepWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (o Options) maxInstanceBytes() int64 {
+	if o.MaxInstanceBytes > 0 {
+		return o.MaxInstanceBytes
+	}
+	if o.MaxInstanceBytes < 0 {
+		return 1 << 62 // effectively unbounded, matching maxCacheBytes
+	}
+	return defaultMaxCacheBytes
+}
+
+func (o Options) maxQueueDepth() int {
+	if o.MaxQueueDepth > 0 {
+		return o.MaxQueueDepth
+	}
+	if o.MaxQueueDepth < 0 {
+		return int(^uint(0) >> 1)
+	}
+	return 64
+}
+
+func (o Options) maxConcurrentQueries() int {
+	if o.MaxConcurrentQueries > 0 {
+		return o.MaxConcurrentQueries
+	}
+	if o.MaxConcurrentQueries < 0 {
+		return int(^uint(0) >> 1)
+	}
+	// Wide enough that queries park on the instance budget (where waiting
+	// is useful — a release anywhere unblocks them), not at the gate: the
+	// gate exists to bound the goroutine pile-up, not to serialize.
+	d := 4 * o.maxInstances()
+	if p := 2 * runtime.GOMAXPROCS(0); p > d {
+		d = p
+	}
+	return d
+}
+
+func (o Options) maxConcurrentSweeps() int {
+	if o.MaxConcurrentSweeps > 0 {
+		return o.MaxConcurrentSweeps
+	}
+	if o.MaxConcurrentSweeps < 0 {
+		return int(^uint(0) >> 1)
+	}
+	return 8
+}
+
 // Server serves tester queries over cached compiled networks. Create with
 // NewServer, expose with Handler (or call Query directly), release with
 // Close. All methods are safe for concurrent use.
 type Server struct {
 	opts Options
 
-	mu         sync.Mutex
-	cond       *sync.Cond // signaled on release, eviction, budget change, close
-	entries    map[string]*entry
-	lru        *list.List // of *entry; front = most recently used
-	cacheBytes int64      // summed MemSize of cached cores
-	spawned    int        // live instances server-wide: idle + in-flight
-	closed     bool
+	mu            sync.Mutex
+	cond          *sync.Cond // signaled on release, eviction, budget change, close
+	entries       map[string]*entry
+	lru           *list.List // of *entry; front = most recently used
+	cacheBytes    int64      // summed MemSize of cached cores
+	spawned       int        // live instances server-wide: idle + in-flight
+	instBytes     int64      // summed MemSize pinned by live instances
+	budgetWaiters int        // acquirers parked on the instance-budget wait
+	closed        bool
 
-	queries   atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	compiles  atomic.Int64
-	evictions atomic.Int64
-	timeouts  atomic.Int64
-	failures  atomic.Int64
-	sweeps    atomic.Int64
-	inFlight  atomic.Int64
+	// Admission control (see admission.go): per-endpoint gates and the
+	// latency window behind deadline-aware shedding and Retry-After hints.
+	queryGate *gate
+	sweepGate *gate
+	lat       latencyTracker
+
+	queries        atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	compiles       atomic.Int64
+	evictions      atomic.Int64
+	timeouts       atomic.Int64
+	failures       atomic.Int64
+	sweeps         atomic.Int64
+	inFlight       atomic.Int64
+	shed           atomic.Int64 // requests rejected by admission control (429s)
+	queueDepth     atomic.Int64 // requests parked in wait queues right now
+	queueHighWater atomic.Int64 // max queueDepth ever observed
+	sweepRetries   atomic.Int64 // transient trial failures absorbed by sweep retry
+	panics         atomic.Int64 // handler panics recovered by the HTTP middleware
 }
 
 // entry is one cached graph: its immutable compiled core plus the warm
@@ -237,6 +322,8 @@ func NewServer(opts Options) *Server {
 		lru:     list.New(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.queryGate = newGate(s, "query", opts.maxConcurrentQueries(), opts.maxQueueDepth())
+	s.sweepGate = newGate(s, "sweep", opts.maxConcurrentSweeps(), opts.maxQueueDepth())
 	return s
 }
 
@@ -265,6 +352,7 @@ func (s *Server) evictLocked(e *entry) {
 	for _, p := range e.pools {
 		for _, w := range p.idle {
 			s.spawned--
+			s.instBytes -= e.compiled.MemSize()
 			w.inst.Close()
 		}
 		p.idle = nil
@@ -343,10 +431,16 @@ var errEvicted = errors.New("serve: cache entry evicted")
 // acquire checks a warm worker out of e's pool for the given engine,
 // spawning one when the server-wide instance budget allows, reclaiming an
 // idle instance from the coldest graph when it does not, or waiting
-// (bounded by ctx) for an in-flight run to release one. It returns
+// (bounded by ctx AND by the admission queue bound — a full wait queue
+// sheds instead of parking) for an in-flight run to release one. The
+// budget is two-dimensional: an instance count (MaxInstances) and the
+// bytes live instances pin (MaxInstanceBytes, weighted by the compiled
+// core's MemSize), so mixed graph sizes are bounded tightly. It returns
 // errEvicted when e was evicted before or while waiting — the entry is
 // dead, so waiting on it would only burn the caller's deadline.
 func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (*worker, error) {
+	need := e.compiled.MemSize()
+	maxBytes := s.opts.maxInstanceBytes()
 	s.mu.Lock()
 	for {
 		if s.closed {
@@ -368,16 +462,23 @@ func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (
 			s.mu.Unlock()
 			return w, nil
 		}
-		if s.spawned < s.opts.maxInstances() {
+		// The first instance always spawns whatever its size (an
+		// over-byte-budget giant must still serve); after that both the
+		// count and the byte budget must cover it.
+		if s.spawned < s.opts.maxInstances() &&
+			(s.spawned == 0 || s.instBytes+need <= maxBytes) {
 			s.spawned++
+			s.instBytes += need
 			s.mu.Unlock()
 			inst, err := e.compiled.NewInstance(network.InstanceOptions{
 				Engine:  engine,
 				Workers: s.opts.networkWorkers(),
+				Faults:  s.opts.Faults,
 			})
 			if err != nil {
 				s.mu.Lock()
 				s.spawned--
+				s.instBytes -= need
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				return nil, err
@@ -390,8 +491,22 @@ func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (
 		if s.reclaimIdleLocked() {
 			continue
 		}
-		// Every instance is in flight: wait for a release, bounded by ctx.
-		if err := s.waitLocked(ctx); err != nil {
+		// Every instance is in flight. Shed when the wait queue is already
+		// at its bound — admission control's promise is a fast 429, never
+		// an unbounded pile of parked goroutines — else wait for a
+		// release, bounded by ctx.
+		if s.budgetWaiters >= s.opts.maxQueueDepth() {
+			s.mu.Unlock()
+			return nil, s.shedded("instances", fmt.Sprintf(
+				"instance budget (%d) saturated and its wait queue (%d) full",
+				s.opts.maxInstances(), s.opts.maxQueueDepth()))
+		}
+		s.budgetWaiters++
+		s.enterQueue()
+		err := s.waitLocked(ctx)
+		s.budgetWaiters--
+		s.leaveQueue()
+		if err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
@@ -411,6 +526,7 @@ func (s *Server) reclaimIdleLocked() bool {
 				w := p.idle[n-1]
 				p.idle = p.idle[:n-1]
 				s.spawned--
+				s.instBytes -= e.compiled.MemSize()
 				w.inst.Close()
 				return true
 			}
@@ -452,6 +568,7 @@ func (s *Server) release(e *entry, engine network.Engine, w *worker) {
 	defer s.mu.Unlock()
 	if e.evicted || s.closed {
 		s.spawned--
+		s.instBytes -= e.compiled.MemSize()
 		w.inst.Close()
 	} else {
 		p := e.pools[engine]
@@ -468,8 +585,6 @@ func (s *Server) release(e *entry, engine network.Engine, w *worker) {
 // fires. Safe for concurrent use.
 func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	s.queries.Add(1)
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
 
 	start := time.Now()
 	if to := s.opts.queryTimeout(); to > 0 {
@@ -483,6 +598,23 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		s.failures.Add(1)
 		return nil, err
 	}
+	// Deadline-aware rejection: a request whose remaining deadline cannot
+	// cover the median run time would only burn an instance and 504 anyway
+	// — shed it now, while it is still cheap for both sides.
+	if p50 := s.lat.p50(); p50 > 0 {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < p50 {
+			return nil, s.shedded("deadline", fmt.Sprintf(
+				"remaining deadline %v below median run time %v",
+				time.Until(dl).Round(time.Microsecond), p50.Round(time.Microsecond)))
+		}
+	}
+	if err := s.queryGate.acquire(ctx); err != nil {
+		s.countQueryErr(ctx, err)
+		return nil, err
+	}
+	defer s.queryGate.release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	// Lookup and checkout retry when the entry is LRU-evicted in between
 	// (or while waiting for a free instance — eviction wakes waiters): the
 	// next lookup re-compiles into a live entry. The loop is bounded by
@@ -522,6 +654,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	// client the instant ctx fires, and the run itself — carrying ctx —
 	// aborts at its next round barrier, so the abandoned instance re-pools
 	// within one round instead of at run completion.
+	runStart := time.Now()
 	go w.run()
 	select {
 	case out := <-w.done:
@@ -542,6 +675,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 			s.failures.Add(1)
 			return nil, out.err
 		}
+		s.lat.record(time.Since(runStart)) // successful runs only: shed/abort times would skew the median down
 		out.resp.Cache = "miss"
 		if hit {
 			out.resp.Cache = "hit"
@@ -562,12 +696,16 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	}
 }
 
-// countQueryErr attributes a failed query to the right counter: timeouts
-// for a blown deadline, nothing for a client cancellation (the server did
-// nothing wrong and the operator sizing QueryTimeout must not see phantom
-// timeouts), failures for everything else.
+// countQueryErr attributes a failed query to the right counter: nothing
+// extra for a shed (shedded already counted it, and a shed is the server
+// working as designed, not failing), timeouts for a blown deadline, nothing
+// for a client cancellation (the server did nothing wrong and the operator
+// sizing QueryTimeout must not see phantom timeouts), failures for
+// everything else.
 func (s *Server) countQueryErr(ctx context.Context, err error) {
+	var ov *ErrOverloaded
 	switch {
+	case errors.As(err, &ov):
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
 	case errors.Is(err, context.Canceled):
@@ -663,6 +801,22 @@ type Stats struct {
 	Failures       int64 `json:"failures"`
 	Sweeps         int64 `json:"sweeps"`
 	InFlight       int64 `json:"in_flight"`
+	// InstanceBytes / MaxInstanceBytes mirror the byte dimension of the
+	// instance budget: bytes pinned by live instances vs the configured cap.
+	InstanceBytes    int64 `json:"instance_bytes"`
+	MaxInstanceBytes int64 `json:"max_instance_bytes"`
+	// Resilience counters (see admission.go): Shed counts requests rejected
+	// with 429, QueueDepth/QueueHighWater track parked requests across all
+	// wait queues, Retries counts transient sweep-trial failures absorbed by
+	// retry, FaultsInjected counts engine faults armed by Options.Faults,
+	// and PanicsRecovered counts handler panics caught by the HTTP
+	// middleware.
+	Shed            int64 `json:"shed"`
+	QueueDepth      int64 `json:"queue_depth"`
+	QueueHighWater  int64 `json:"queue_high_water"`
+	Retries         int64 `json:"retries"`
+	FaultsInjected  int64 `json:"faults_injected"`
+	PanicsRecovered int64 `json:"panics_recovered"`
 	// HitRate is Hits / (Hits + Misses), 0 before the first lookup.
 	HitRate float64 `json:"hit_rate"`
 	// Entries lists the cached graphs in recency order (most recent
@@ -673,17 +827,26 @@ type Stats struct {
 // Stats returns a snapshot of the cache and traffic counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		MaxCacheBytes:  s.opts.maxCacheBytes(),
-		InstanceBudget: s.opts.maxInstances(),
-		Queries:        s.queries.Load(),
-		Hits:           s.hits.Load(),
-		Misses:         s.misses.Load(),
-		Compiles:       s.compiles.Load(),
-		Evictions:      s.evictions.Load(),
-		Timeouts:       s.timeouts.Load(),
-		Failures:       s.failures.Load(),
-		Sweeps:         s.sweeps.Load(),
-		InFlight:       s.inFlight.Load(),
+		MaxCacheBytes:    s.opts.maxCacheBytes(),
+		InstanceBudget:   s.opts.maxInstances(),
+		MaxInstanceBytes: s.opts.maxInstanceBytes(),
+		Queries:          s.queries.Load(),
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Compiles:         s.compiles.Load(),
+		Evictions:        s.evictions.Load(),
+		Timeouts:         s.timeouts.Load(),
+		Failures:         s.failures.Load(),
+		Sweeps:           s.sweeps.Load(),
+		InFlight:         s.inFlight.Load(),
+		Shed:             s.shed.Load(),
+		QueueDepth:       s.queueDepth.Load(),
+		QueueHighWater:   s.queueHighWater.Load(),
+		Retries:          s.sweepRetries.Load(),
+		PanicsRecovered:  s.panics.Load(),
+	}
+	if s.opts.Faults != nil {
+		st.FaultsInjected = s.opts.Faults.Injected()
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)
@@ -693,6 +856,7 @@ func (s *Server) Stats() Stats {
 	st.GraphsCached = len(s.entries)
 	st.CacheBytes = s.cacheBytes
 	st.InstancesLive = s.spawned
+	st.InstanceBytes = s.instBytes
 	for el := s.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		es := EntryStats{
@@ -759,11 +923,35 @@ func (p coreProvider) Acquire(ctx context.Context, pt sweep.TrialPoint) (*networ
 // calibrated representative-selection range) are returned alongside
 // validation so callers can surface them before rows flow.
 func (s *Server) RunSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
-	s.sweeps.Add(1)
 	if err := spec.Validate(); err != nil {
 		s.failures.Add(1)
 		return nil, err
 	}
+	release, err := s.admitSweep(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.runSweep(ctx, spec, sinks...)
+}
+
+// admitSweep passes the sweep gate: sweeps are long-lived and fan out over
+// the shared instance budget, so only a few run at once and the rest park
+// or shed. The HTTP layer calls it separately from runSweep so an
+// *ErrOverloaded can become a clean 429 BEFORE the 200 header and stream
+// framing are committed. Callers must call the returned release exactly
+// once, after the sweep finishes.
+func (s *Server) admitSweep(ctx context.Context) (release func(), err error) {
+	if err := s.sweepGate.acquire(ctx); err != nil {
+		return nil, err
+	}
+	return s.sweepGate.release, nil
+}
+
+// runSweep executes an admitted, validated sweep (see RunSweep for the
+// contract).
+func (s *Server) runSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
+	s.sweeps.Add(1)
 	if cap := s.opts.sweepWorkers(); spec.Workers <= 0 || spec.Workers > cap {
 		spec.Workers = cap
 	}
@@ -772,8 +960,13 @@ func (s *Server) RunSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.
 		provider = coreProvider{s: s}
 	}
 	sum, err := sweep.RunCtx(ctx, spec, provider, sinks...)
-	if err != nil && !errors.Is(err, context.Canceled) {
-		// A client abandoning its stream is not a server failure.
+	if sum != nil {
+		s.sweepRetries.Add(sum.Retries)
+	}
+	var ov *ErrOverloaded
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.As(err, &ov) {
+		// A client abandoning its stream is not a server failure, and a
+		// shed (already counted) is the server protecting itself.
 		s.failures.Add(1)
 	}
 	return sum, err

@@ -169,6 +169,7 @@ func (s *HTTPSink) Done(sum *Summary, err error) error {
 		Jobs    int    `json:"jobs,omitempty"`
 		Skipped int    `json:"skipped,omitempty"`
 		Trials  int    `json:"trials,omitempty"`
+		Retries int64  `json:"retries,omitempty"`
 		Error   string `json:"error,omitempty"`
 	}
 	t := tail{Event: "summary"}
@@ -176,6 +177,7 @@ func (s *HTTPSink) Done(sum *Summary, err error) error {
 		t = tail{Event: "error", Error: err.Error()}
 	} else if sum != nil {
 		t.Name, t.Jobs, t.Skipped, t.Trials = sum.Name, sum.Jobs, sum.Skipped, sum.Trials
+		t.Retries = sum.Retries
 	}
 	if s.sse {
 		if _, werr := fmt.Fprintf(s.w, "event: %s\ndata: ", t.Event); werr != nil {

@@ -26,9 +26,11 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cycledetect/internal/combin"
@@ -95,6 +97,33 @@ type Spec struct {
 	// worker owns its Networks; the per-network BSP pool is sized so that
 	// workers × pool ≈ GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// MaxRetries bounds per-job retries of TRANSIENT failures — a serving
+	// provider shedding load, an injected fault — before the sweep fails
+	// (see IsTransient). 0 means the default of 3; negative disables
+	// retries. Terminal failures (program panics, real bandwidth
+	// violations, the sweep's own cancellation) are never retried.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoff is the base wait before a retry; attempt i waits
+	// base·2^(i-1), capped at 32×base, plus a deterministic jitter in
+	// [0, base). 0 means the default of 5ms.
+	RetryBackoff time.Duration `json:"retry_backoff_ns,omitempty"`
+}
+
+func (s *Spec) maxRetries() int {
+	if s.MaxRetries > 0 {
+		return s.MaxRetries
+	}
+	if s.MaxRetries < 0 {
+		return 0
+	}
+	return 3
+}
+
+func (s *Spec) retryBackoff() time.Duration {
+	if s.RetryBackoff > 0 {
+		return s.RetryBackoff
+	}
+	return 5 * time.Millisecond
 }
 
 // Job is one grid point.
@@ -144,6 +173,9 @@ type Summary struct {
 	Jobs    int
 	Skipped int // grid points skipped as not runnable
 	Trials  int
+	// Retries counts transient failures that were retried (and eventually
+	// absorbed) instead of failing the sweep — see Spec.MaxRetries.
+	Retries int64
 	Elapsed time.Duration
 }
 
@@ -340,6 +372,48 @@ type TrialPoint struct {
 	BandwidthBits int
 }
 
+// IsTransient reports whether err is worth retrying: something in its
+// chain declares Transient() true. The serve layer's load sheds
+// (*serve.ErrOverloaded) and the network layer's injected faults
+// (*network.ErrInjected) do; real program panics, genuine bandwidth
+// violations, and the sweep's own cancellation do not. The check is
+// structural — any error advertising Transient() participates — so sweep
+// does not import the layers above it.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// retryDelay is attempt i's backoff: base·2^(i-1) capped at 32×base,
+// plus a deterministic jitter in [0, base) derived from the sweep seed
+// and job index, so concurrent retries decorrelate without making runs
+// irreproducible.
+func retryDelay(spec *Spec, job Job, attempt int) time.Duration {
+	base := spec.retryBackoff()
+	d := base << min(attempt-1, 5)
+	if d > 32*base {
+		d = 32 * base
+	}
+	j := xrand.Mix64(spec.Seed ^ uint64(job.Index)<<20 ^ uint64(attempt))
+	return d + time.Duration(j%uint64(base))
+}
+
+// backoffWait sleeps d, cut short by the sweep's context or first-error
+// cancellation. It reports whether the full wait elapsed (retry) rather
+// than being interrupted (unwind).
+func backoffWait(ctx context.Context, cancel <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-cancel:
+		return false
+	}
+}
+
 // CoreProvider supplies the execution substrate for sweep trials: an
 // exclusive warm network.Instance attached to a compiled core for the given
 // point. Acquire blocks (bounded by ctx) when the provider's instances are
@@ -516,12 +590,13 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 
 	jobCh := make(chan Job)
 	resCh := make(chan Result, workers)
+	var retries atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			worker(ctx, spec, provider, jobCh, resCh, cancel, fail)
+			worker(ctx, spec, provider, jobCh, resCh, cancel, fail, &retries)
 		}()
 	}
 	go func() {
@@ -575,7 +650,7 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 	}
 	return &Summary{
 		Name: spec.Name, Jobs: len(jobs), Skipped: skipped,
-		Trials: trials, Elapsed: time.Since(start),
+		Trials: trials, Retries: retries.Load(), Elapsed: time.Since(start),
 	}, nil
 }
 
@@ -584,29 +659,47 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 // flows back into the shared pool — and, with a serving provider, to query
 // traffic on the same graph). Every trial runs under ctx, so cancellation
 // cuts work off mid-run.
+//
+// Transient failures — a shed from an overloaded serving provider, an
+// injected fault — are retried up to spec.MaxRetries times with jittered
+// exponential backoff before failing the sweep, so a brief load spike on
+// the shared substrate does not kill a long sweep. Terminal failures
+// (and exhausted retries) fail the sweep immediately, as before.
 func worker(ctx context.Context, spec *Spec, provider CoreProvider,
-	jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{}, fail func(error)) {
+	jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{}, fail func(error),
+	retries *atomic.Int64) {
 
+	maxRetries := spec.maxRetries()
 	for job := range jobCh {
 		select {
 		case <-cancel:
 			return
 		default:
 		}
-		inst, release, err := provider.Acquire(ctx, TrialPoint{
-			Graph: job.Graph, K: job.K, Eps: job.Eps,
-			Seed: spec.Seed, Engine: job.Engine, BandwidthBits: spec.BandwidthBits,
-		})
-		if err != nil {
-			fail(fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s): %w",
-				job.Index, job.Graph, job.K, job.Eps, job.Engine, err))
-			return
-		}
-		r, err := runJob(ctx, inst, spec, job)
-		release()
-		if err != nil {
-			fail(err)
-			return
+		var r Result
+		for attempt := 0; ; attempt++ {
+			inst, release, err := provider.Acquire(ctx, TrialPoint{
+				Graph: job.Graph, K: job.K, Eps: job.Eps,
+				Seed: spec.Seed, Engine: job.Engine, BandwidthBits: spec.BandwidthBits,
+			})
+			if err != nil {
+				err = fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s): %w",
+					job.Index, job.Graph, job.K, job.Eps, job.Engine, err)
+			} else {
+				r, err = runJob(ctx, inst, spec, job)
+				release()
+			}
+			if err == nil {
+				break
+			}
+			if attempt >= maxRetries || !IsTransient(err) {
+				fail(err)
+				return
+			}
+			retries.Add(1)
+			if !backoffWait(ctx, cancel, retryDelay(spec, job, attempt+1)) {
+				return // the sweep is unwinding; its first error is already set
+			}
 		}
 		select {
 		case resCh <- r:

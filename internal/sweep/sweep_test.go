@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cycledetect/internal/congest"
 	"cycledetect/internal/core"
@@ -386,4 +388,131 @@ func (p *countingProvider) Acquire(ctx context.Context, pt TrialPoint) (*network
 	}
 	p.acquires.Add(1)
 	return inst, func() { p.releases.Add(1); release() }, nil
+}
+
+// transientErr is a test error advertising Transient() true, like the
+// serve layer's load sheds do.
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string   { return e.msg }
+func (e transientErr) Transient() bool { return true }
+
+// flakyProvider fails its first `failures` Acquire calls with err before
+// delegating to the real substrate.
+type flakyProvider struct {
+	inner    *localProvider
+	failures int32
+	err      error
+	calls    atomic.Int32
+}
+
+func (p *flakyProvider) Acquire(ctx context.Context, pt TrialPoint) (*network.Instance, func(), error) {
+	if p.calls.Add(1) <= p.failures {
+		return nil, nil, p.err
+	}
+	return p.inner.Acquire(ctx, pt)
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{transientErr{"shed"}, true},
+		{fmt.Errorf("sweep: job 3: %w", transientErr{"shed"}), true},
+		{errors.New("terminal"), false},
+		{context.Canceled, false},
+		// A run cancelled by an INJECTED fault is transient (retry gets a
+		// clean run); a run cancelled by the client is not.
+		{&network.ErrCanceled{Cause: &network.ErrInjected{Kind: network.FaultCancel, Err: context.Canceled}}, true},
+		{&network.ErrCanceled{Cause: context.Canceled}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetryTransientAcquire: transient provider failures are absorbed by
+// the retry loop — the sweep completes, counts its retries, and produces
+// results identical to an unperturbed run.
+func TestRetryTransientAcquire(t *testing.T) {
+	spec := demoSpec()
+	want := collect(t, spec)
+
+	spec.RetryBackoff = time.Microsecond
+	prov := &flakyProvider{inner: newLocalProvider(spec, 1), failures: 2, err: transientErr{"overloaded: shed"}}
+	defer prov.inner.close()
+	var got []Result
+	sum, err := RunCtx(context.Background(), spec, prov, FuncSink(func(r *Result) error {
+		rr := *r
+		rr.Elapsed = 0
+		got = append(got, rr)
+		return nil
+	}))
+	if err != nil {
+		t.Fatalf("transient failures must be absorbed, got: %v", err)
+	}
+	if sum.Retries != 2 {
+		t.Fatalf("want 2 retries counted, got %d", sum.Retries)
+	}
+	for i := range want {
+		want[i].Elapsed = 0
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("retried sweep's results differ from an unperturbed run")
+	}
+}
+
+// TestTerminalAcquireNotRetried: a terminal error fails the sweep on the
+// first attempt — no retry storm against a broken substrate.
+func TestTerminalAcquireNotRetried(t *testing.T) {
+	spec := demoSpec()
+	spec.Workers = 1
+	prov := &flakyProvider{inner: newLocalProvider(spec, 1), failures: 1 << 30, err: errors.New("boom")}
+	defer prov.inner.close()
+	_, err := RunCtx(context.Background(), spec, prov)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want the terminal error to surface, got: %v", err)
+	}
+	if got := prov.calls.Load(); got != 1 {
+		t.Fatalf("terminal errors must not be retried: %d acquire attempts", got)
+	}
+}
+
+// TestRetriesExhausted: a persistently transient failure gives up after
+// MaxRetries attempts and fails the sweep with the underlying error.
+func TestRetriesExhausted(t *testing.T) {
+	spec := demoSpec()
+	spec.Workers = 1
+	spec.MaxRetries = 2
+	spec.RetryBackoff = time.Microsecond
+	prov := &flakyProvider{inner: newLocalProvider(spec, 1), failures: 1 << 30, err: transientErr{"always shed"}}
+	defer prov.inner.close()
+	_, err := RunCtx(context.Background(), spec, prov)
+	if err == nil || !strings.Contains(err.Error(), "always shed") {
+		t.Fatalf("want the exhausted transient error to surface, got: %v", err)
+	}
+	if got := prov.calls.Load(); got != 3 { // 1 initial + MaxRetries
+		t.Fatalf("want 3 acquire attempts (1 + 2 retries), got %d", got)
+	}
+}
+
+// TestRetriesDisabled: MaxRetries < 0 restores fail-fast behavior even
+// for transient errors.
+func TestRetriesDisabled(t *testing.T) {
+	spec := demoSpec()
+	spec.Workers = 1
+	spec.MaxRetries = -1
+	prov := &flakyProvider{inner: newLocalProvider(spec, 1), failures: 1 << 30, err: transientErr{"shed"}}
+	defer prov.inner.close()
+	_, err := RunCtx(context.Background(), spec, prov)
+	if err == nil {
+		t.Fatal("want the sweep to fail")
+	}
+	if got := prov.calls.Load(); got != 1 {
+		t.Fatalf("retries disabled: want 1 acquire attempt, got %d", got)
+	}
 }
