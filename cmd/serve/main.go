@@ -16,6 +16,7 @@
 //	  "k": [5, 7], "eps": [0.1], "trials": 10, "seed": 1
 //	}'
 //	curl -s localhost:8344/stats
+//	curl -s localhost:8344/metrics          # Prometheus text exposition
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight queries
 // and sweep streams finish (bounded by -drain), new connections are
@@ -56,6 +57,11 @@ func main() {
 		maxQueries   = flag.Int("max-concurrent-queries", 0, "queries in service at once (0 = default max(4*instances, 2*GOMAXPROCS), negative = ungated)")
 		maxSweeps    = flag.Int("max-concurrent-sweeps", 0, "sweeps in service at once (0 = default 8, negative = ungated)")
 		faultRate    = flag.Float64("fault-rate", 0, "CHAOS MODE: inject an engine fault (panic/bandwidth/cancel) into about this fraction of runs")
+
+		// Observability (see the README's "Observability" runbook).
+		metricsOn   = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
+		pprofOn     = flag.Bool("pprof", false, "mount the Go profiler under /debug/pprof/")
+		logRequests = flag.Bool("log-requests", false, "log one line per HTTP request, tagged with its run-ID")
 	)
 	flag.Parse()
 
@@ -76,6 +82,9 @@ func main() {
 		MaxConcurrentQueries: *maxQueries,
 		MaxConcurrentSweeps:  *maxSweeps,
 		Faults:               faults,
+		DisableMetrics:       !*metricsOn,
+		EnablePprof:          *pprofOn,
+		LogRequests:          *logRequests,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

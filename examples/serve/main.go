@@ -36,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +96,10 @@ func main() {
 	}
 	fmt.Printf("%d clients × %d queries, k=%d eps=%g engine=%s, one shared gnm(256,1024) graph%s\n",
 		*clients, *queries, *k, *eps, *engine, mode)
+
+	// Baseline scrape: the phase table below prints per-phase deltas of the
+	// server's own counters, straight from the Prometheus exposition.
+	baseline := scrapeMetrics(base)
 
 	type result struct {
 		latency time.Duration
@@ -180,6 +185,8 @@ func main() {
 			shed.Load(), retries.Load())
 	}
 
+	afterQueries := scrapeMetrics(base)
+
 	// Sweep over the SAME graph: trials run on the compiled core the query
 	// traffic just warmed, so the row stream below costs zero compiles.
 	sweepSpec, _ := json.Marshal(map[string]any{
@@ -208,6 +215,32 @@ func main() {
 	fmt.Printf("sweep over the cached graph: %d rows, zero new compiles\n",
 		bytes.Count(rows, []byte{'\n'})-1)
 
+	afterSweep := scrapeMetrics(base)
+
+	// The server's own view of the two load phases, as Prometheus deltas:
+	// what a dashboard would show. The run-latency column is the histogram
+	// mean (sum/count) over just that phase's runs.
+	fmt.Println("phase deltas from /metrics:")
+	fmt.Printf("  %-12s %8s %8s %8s %8s %12s\n",
+		"phase", "queries", "sweeps", "sheds", "runs", "mean run")
+	printPhase := func(name string, from, to map[string]float64) {
+		d := func(series string) float64 { return to[series] - from[series] }
+		sheds := 0.0
+		for _, reason := range []string{"query", "sweep", "instances", "deadline"} {
+			sheds += d(`serve_shed_total{reason="` + reason + `"}`)
+		}
+		runs := d("serve_run_seconds_count")
+		mean := time.Duration(0)
+		if runs > 0 {
+			mean = time.Duration(d("serve_run_seconds_sum") / runs * float64(time.Second))
+		}
+		fmt.Printf("  %-12s %8.0f %8.0f %8.0f %8.0f %12v\n",
+			name, d("serve_queries_total"), d("serve_sweeps_total"), sheds, runs,
+			mean.Round(time.Microsecond))
+	}
+	printPhase("query-load", baseline, afterQueries)
+	printPhase("sweep", afterQueries, afterSweep)
+
 	// Server-side view: byte-weighted cache, instance budget, hit rate.
 	resp, err = http.Get(base + "/stats")
 	if err != nil {
@@ -227,6 +260,41 @@ func main() {
 		fmt.Printf("  entry %s: n=%d m=%d bytes=%d hits=%d age=%.1fs idle=%d\n",
 			e.Key, e.N, e.M, e.Bytes, e.Hits, e.AgeSeconds, e.InstancesIdle)
 	}
+}
+
+// scrapeMetrics fetches /metrics and parses every sample line into a
+// series → value map (series includes its labels, e.g.
+// `serve_shed_total{reason="query"}`). A server running with -metrics=false
+// just yields an empty map and the phase table prints zeros.
+func scrapeMetrics(base string) map[string]float64 {
+	out := map[string]float64{}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -87,6 +87,12 @@ type InstanceOptions struct {
 	// tests and chaos-mode servers use it; production serving leaves it
 	// nil, which costs nothing per run.
 	Faults *FaultPlan
+	// Collector, when non-nil, receives one RunMetrics record per
+	// RunProgram/RunProgramCtx call (see RunCollector). nil costs one
+	// pointer load per run; armed collection adds zero heap allocations,
+	// so steady-state reused runs stay 0 allocs/op (locked by
+	// TestRunCollectorAllocFree).
+	Collector RunCollector
 }
 
 // NewInstance attaches a fresh per-run state slab — payload tables, coin

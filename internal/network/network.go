@@ -242,6 +242,19 @@ func (nw *Instance) Engine() Engine {
 	return nw.iopts.Engine
 }
 
+// Workers returns the instance's effective engine parallelism: the BSP
+// worker-pool width after clamping (requested width capped by GOMAXPROCS
+// and the vertex count). The channels engine runs one goroutine per node
+// regardless of the requested width, so it reports 1. Schedulers that
+// hand out width budgets (internal/sweep's CoreProvider handshake) read
+// this to verify the width they asked for is the width they got.
+func (nw *Instance) Workers() int {
+	if nw.Engine() == EngineChannels || nw.workers < 1 {
+		return 1
+	}
+	return nw.workers
+}
+
 // Close releases the persistent engine — the BSP worker pool or the parked
 // channel-engine node goroutines. The Instance must not be used afterwards;
 // its Compiled remains valid (other instances may still be attached).
@@ -513,14 +526,23 @@ func (nw *Instance) RunProgramCtx(ctx context.Context, p Program, seed uint64) (
 		return nil, &ErrCanceled{Round: 0, Cause: context.Cause(ctx)}
 	}
 	rounds := nw.prepare(p, seed)
+	injected := false
 	if nw.iopts.Faults != nil {
 		ctx = nw.armFault(ctx, seed, rounds)
+		injected = nw.faultOn
 		defer nw.disarmFault()
 	}
+	var res *Result
+	var err error
 	if nw.Engine() == EngineChannels {
-		return nw.runChannels(ctx, rounds)
+		res, err = nw.runChannels(ctx, rounds)
+	} else {
+		res, err = nw.runBSP(ctx, rounds)
 	}
-	return nw.runBSP(ctx, rounds)
+	if c := nw.iopts.Collector; c != nil {
+		nw.recordRun(c, res, err, injected)
+	}
+	return res, err
 }
 
 // runCanceled finishes a context-aborted run. Like runFailed it marks the

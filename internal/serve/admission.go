@@ -13,9 +13,10 @@ package serve
 import (
 	"context"
 	"fmt"
-	"slices"
 	"sync"
 	"time"
+
+	"cycledetect/internal/metrics"
 )
 
 // ErrOverloaded reports a request shed by admission control rather than
@@ -42,17 +43,30 @@ func (e *ErrOverloaded) Error() string {
 // failing the whole sweep.
 func (e *ErrOverloaded) Transient() bool { return true }
 
-// shedded counts one shed and builds its ErrOverloaded.
+// shedded counts one shed — the /stats total and the per-reason
+// Prometheus counter — and builds its ErrOverloaded.
 func (s *Server) shedded(endpoint, reason string) error {
 	s.shed.Add(1)
+	switch endpoint {
+	case "query":
+		s.met.shedQuery.Inc()
+	case "sweep":
+		s.met.shedSweep.Inc()
+	case "instances":
+		s.met.shedInst.Inc()
+	case "deadline":
+		s.met.shedDeadline.Inc()
+	}
 	return &ErrOverloaded{Endpoint: endpoint, RetryAfter: s.retryHint(), Reason: reason}
 }
 
 // retryHint estimates how long a shed client should back off: the median
-// run time times the number of requests ahead of it, clamped to something
-// a client can reasonably sleep.
+// run time (from the shared run-duration histogram — no lock, no sort;
+// the bespoke 128-entry latencyTracker that sorted a scratch slice under
+// a mutex per admission decision is gone) times the number of requests
+// ahead of it, clamped to something a client can reasonably sleep.
 func (s *Server) retryHint() time.Duration {
-	p50 := s.lat.p50()
+	p50 := s.runP50()
 	if p50 <= 0 {
 		p50 = 50 * time.Millisecond
 	}
@@ -90,6 +104,7 @@ type gate struct {
 	endpoint string
 	limit    int
 	maxQueue int
+	waitHist *metrics.Histogram // admission wait per admitted request
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -97,8 +112,8 @@ type gate struct {
 	queued int
 }
 
-func newGate(s *Server, endpoint string, limit, maxQueue int) *gate {
-	g := &gate{s: s, endpoint: endpoint, limit: limit, maxQueue: maxQueue}
+func newGate(s *Server, endpoint string, limit, maxQueue int, waitHist *metrics.Histogram) *gate {
+	g := &gate{s: s, endpoint: endpoint, limit: limit, maxQueue: maxQueue, waitHist: waitHist}
 	g.cond = sync.NewCond(&g.mu)
 	return g
 }
@@ -110,11 +125,16 @@ func newGate(s *Server, endpoint string, limit, maxQueue int) *gate {
 // and a newly parked request re-checks the slot condition before its
 // first wait, so a release between "queue full?" and the wait cannot
 // strand it.
+// Admitted requests (fast path included) observe the wait histogram, so
+// its shape answers "how long do requests queue at this endpoint" — a
+// fast-path admission records ~0 and keeps the sample population honest.
 func (g *gate) acquire(ctx context.Context) error {
+	start := time.Now()
 	g.mu.Lock()
 	if g.active < g.limit {
 		g.active++
 		g.mu.Unlock()
+		g.waitHist.ObserveSince(start)
 		return nil
 	}
 	if g.queued >= g.maxQueue {
@@ -144,6 +164,7 @@ func (g *gate) acquire(ctx context.Context) error {
 	g.mu.Unlock()
 	stop()
 	g.s.leaveQueue()
+	g.waitHist.ObserveSince(start)
 	return nil
 }
 
@@ -153,53 +174,4 @@ func (g *gate) release() {
 	g.active--
 	g.mu.Unlock()
 	g.cond.Broadcast()
-}
-
-// latWindow is the latency tracker's sliding-window size.
-const latWindow = 128
-
-// latencyTracker keeps a sliding window of successful run durations and
-// serves an amortized median for deadline-aware shedding and Retry-After
-// hints. record is on the query hot path, so it is two stores and an
-// increment under a private mutex; the sort is paid at most once per 16
-// records, on a preallocated scratch slice.
-type latencyTracker struct {
-	mu      sync.Mutex
-	ring    [latWindow]time.Duration
-	n       int // filled entries
-	idx     int
-	stale   int // records since the cached median was computed
-	cached  time.Duration
-	scratch []time.Duration
-}
-
-func (t *latencyTracker) record(d time.Duration) {
-	t.mu.Lock()
-	t.ring[t.idx] = d
-	t.idx = (t.idx + 1) % latWindow
-	if t.n < latWindow {
-		t.n++
-	}
-	t.stale++
-	t.mu.Unlock()
-}
-
-// p50 returns the window median — 0 until the first record, so callers
-// can gate deadline shedding on "do we know anything yet".
-func (t *latencyTracker) p50() time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.n == 0 {
-		return 0
-	}
-	if t.cached == 0 || t.stale >= 16 {
-		if t.scratch == nil {
-			t.scratch = make([]time.Duration, 0, latWindow)
-		}
-		t.scratch = append(t.scratch[:0], t.ring[:t.n]...)
-		slices.Sort(t.scratch)
-		t.cached = t.scratch[len(t.scratch)/2]
-		t.stale = 0
-	}
-	return t.cached
 }

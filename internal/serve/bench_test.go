@@ -87,7 +87,34 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	}
 
 	b.Run("accept-floor", func(b *testing.B) { floor(b, tree) })
+	// accept-query runs with the full metrics catalog armed — every query
+	// bumps the per-stage histograms and the collector records every engine
+	// run — and must hold the same 16-alloc bar it held before metrics
+	// existed (bench-gate vs the committed snapshots enforces this).
 	b.Run("accept-query", func(b *testing.B) { served(b, "tree", 0) })
+	// accept-query-traced adds a run-ID to the context, so the query also
+	// registers in the in-flight table: the full HTTP-path bookkeeping.
+	b.Run("accept-query-traced", func(b *testing.B) {
+		s := NewServer(Options{})
+		defer s.Close()
+		req := func(seed uint64) *QueryRequest {
+			return &QueryRequest{
+				Graph: GraphRequest{Family: "tree", N: n},
+				K:     k, Reps: reps, Seed: seed,
+			}
+		}
+		if _, err := s.Query(context.Background(), req(1)); err != nil {
+			b.Fatal(err)
+		}
+		ctx := WithRunID(context.Background(), "bench-trace")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(ctx, req(uint64(i)+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("reject-floor", func(b *testing.B) { floor(b, gnm) })
 	b.Run("reject-query", func(b *testing.B) { served(b, "gnm", 4*n) })
 

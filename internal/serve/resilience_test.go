@@ -343,14 +343,14 @@ func TestHTTP429WellFormed(t *testing.T) {
 	})
 }
 
-// TestDeadlineAwareShed: once the latency window knows the median run
+// TestDeadlineAwareShed: once the run histogram knows the median run
 // time, a request whose remaining deadline cannot cover it is shed
 // immediately — counted as a shed, not burned into a 504.
 func TestDeadlineAwareShed(t *testing.T) {
 	s := NewServer(Options{})
 	defer s.Close()
-	for i := 0; i < latWindow; i++ {
-		s.lat.record(80 * time.Millisecond)
+	for i := 0; i < 128; i++ {
+		s.met.run.Observe(int64(80 * time.Millisecond))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()

@@ -49,6 +49,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -124,6 +126,21 @@ type Options struct {
 	// network.InstanceOptions — the soak tests' chaos mode. Production
 	// servers leave it nil.
 	Faults *network.FaultPlan
+	// DisableMetrics removes GET /metrics from the handler. Collection
+	// itself always runs (it is allocation-free on the hot paths); this
+	// only controls exposition.
+	DisableMetrics bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler — CPU/heap/goroutine profiling for diagnosing a saturated
+	// server. Off by default: the profile endpoints are a DoS surface and
+	// belong behind operator-only listeners.
+	EnablePprof bool
+	// LogRequests logs one line per HTTP request — method, path, status,
+	// duration, and the request's run-ID — through Logf.
+	LogRequests bool
+	// Logf, when non-nil, replaces log.Printf for the server's request
+	// and diagnostic logging (tests capture it; production leaves nil).
+	Logf func(format string, args ...any)
 }
 
 // defaultQueryTimeout bounds queries when Options.QueryTimeout is zero.
@@ -247,11 +264,28 @@ type Server struct {
 	budgetWaiters int        // acquirers parked on the instance-budget wait
 	closed        bool
 
-	// Admission control (see admission.go): per-endpoint gates and the
-	// latency window behind deadline-aware shedding and Retry-After hints.
+	// Admission control (see admission.go): per-endpoint gates. The
+	// latency signal behind deadline-aware shedding and Retry-After hints
+	// is the shared run-duration histogram (met.run, see runP50).
 	queryGate *gate
 	sweepGate *gate
-	lat       latencyTracker
+
+	// met owns the /metrics registry and every recorded series; it is
+	// also the network.RunCollector each spawned instance reports to.
+	met *serveMetrics
+	// sweepProg aggregates live progress across every admitted sweep
+	// (exported through /metrics as the sweep_* series).
+	sweepProg sweep.Progress
+
+	// Run-ID tracing: per-request IDs (X-Request-ID or generated from
+	// ridSalt+ridSeq) flow HTTP → Query → the in-flight table below, so a
+	// slow query is findable in /stats while it runs. Only requests
+	// carrying an ID are tracked — the direct Query fast path (no ID)
+	// pays nothing.
+	ridSalt  uint64
+	ridSeq   atomic.Int64
+	flMu     sync.Mutex
+	inflight map[*inflightReq]struct{}
 
 	queries        atomic.Int64
 	hits           atomic.Int64
@@ -276,10 +310,21 @@ type entry struct {
 	elem     *list.Element
 	g        *graph.Graph
 	compiled *network.Compiled
-	pools    map[network.Engine]*instPool
+	pools    map[poolKey]*instPool
 	evicted  bool
 	hits     int64     // lookups served by this entry (guarded by Server.mu)
 	created  time.Time // when the entry was compiled into the cache
+}
+
+// poolKey names one warm-instance pool of an entry: engine AND engine
+// width. Width is part of the identity because an instance's BSP pool is
+// sized at spawn — queries run at the server's NetworkWorkers width while
+// a sweep's scheduler may budget a wider instance (sweep.TrialPoint
+// .Workers), and handing one the other's instance would silently run at
+// the wrong parallelism.
+type poolKey struct {
+	engine  network.Engine
+	workers int
 }
 
 // instPool holds the idle warm workers of one (graph, engine). All
@@ -317,14 +362,34 @@ type queryOutcome struct {
 // NewServer returns a Server with the given options.
 func NewServer(opts Options) *Server {
 	s := &Server{
-		opts:    opts,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
+		opts:     opts,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+		ridSalt:  uint64(time.Now().UnixNano()),
+		inflight: make(map[*inflightReq]struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.queryGate = newGate(s, "query", opts.maxConcurrentQueries(), opts.maxQueueDepth())
-	s.sweepGate = newGate(s, "sweep", opts.maxConcurrentSweeps(), opts.maxQueueDepth())
+	s.met = newServeMetrics(s)
+	s.queryGate = newGate(s, "query", opts.maxConcurrentQueries(), opts.maxQueueDepth(), s.met.queueWaitQuery)
+	s.sweepGate = newGate(s, "sweep", opts.maxConcurrentSweeps(), opts.maxQueueDepth(), s.met.queueWaitSweep)
 	return s
+}
+
+// Metrics exposes the server's metrics registry (what GET /metrics
+// renders) for embedding servers that scrape or extend it.
+func (s *Server) Metrics() interface {
+	WritePrometheus(w io.Writer) error
+} {
+	return s.met.reg
+}
+
+// logf routes diagnostic logging through Options.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Close evicts every cached graph and closes all idle instances. In-flight
@@ -403,7 +468,7 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 	}
 	e := &entry{
 		key: key, g: g, compiled: compiled,
-		pools: map[network.Engine]*instPool{}, created: time.Now(),
+		pools: map[poolKey]*instPool{}, created: time.Now(),
 	}
 	e.elem = s.lru.PushFront(e)
 	s.entries[key] = e
@@ -428,7 +493,7 @@ func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry,
 // the live cache.
 var errEvicted = errors.New("serve: cache entry evicted")
 
-// acquire checks a warm worker out of e's pool for the given engine,
+// acquire checks a warm worker out of e's pool for (engine, width pk),
 // spawning one when the server-wide instance budget allows, reclaiming an
 // idle instance from the coldest graph when it does not, or waiting
 // (bounded by ctx AND by the admission queue bound — a full wait queue
@@ -438,7 +503,17 @@ var errEvicted = errors.New("serve: cache entry evicted")
 // core's MemSize), so mixed graph sizes are bounded tightly. It returns
 // errEvicted when e was evicted before or while waiting — the entry is
 // dead, so waiting on it would only burn the caller's deadline.
-func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (*worker, error) {
+// Successful checkouts observe the acquire-latency histogram.
+func (s *Server) acquire(ctx context.Context, e *entry, pk poolKey) (*worker, error) {
+	start := time.Now()
+	w, err := s.acquireInner(ctx, e, pk)
+	if err == nil {
+		s.met.acquire.ObserveSince(start)
+	}
+	return w, err
+}
+
+func (s *Server) acquireInner(ctx context.Context, e *entry, pk poolKey) (*worker, error) {
 	need := e.compiled.MemSize()
 	maxBytes := s.opts.maxInstanceBytes()
 	s.mu.Lock()
@@ -451,10 +526,10 @@ func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (
 			s.mu.Unlock()
 			return nil, errEvicted
 		}
-		p, ok := e.pools[engine]
+		p, ok := e.pools[pk]
 		if !ok {
 			p = &instPool{}
-			e.pools[engine] = p
+			e.pools[pk] = p
 		}
 		if n := len(p.idle); n > 0 {
 			w := p.idle[n-1]
@@ -471,9 +546,10 @@ func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (
 			s.instBytes += need
 			s.mu.Unlock()
 			inst, err := e.compiled.NewInstance(network.InstanceOptions{
-				Engine:  engine,
-				Workers: s.opts.networkWorkers(),
-				Faults:  s.opts.Faults,
+				Engine:    pk.engine,
+				Workers:   pk.workers,
+				Faults:    s.opts.Faults,
+				Collector: s.met,
 			})
 			if err != nil {
 				s.mu.Lock()
@@ -503,9 +579,12 @@ func (s *Server) acquire(ctx context.Context, e *entry, engine network.Engine) (
 		}
 		s.budgetWaiters++
 		s.enterQueue()
+		waitStart := time.Now()
 		err := s.waitLocked(ctx)
 		s.budgetWaiters--
 		s.leaveQueue()
+		// Histogram observes are atomic; doing one under s.mu is fine.
+		s.met.queueWaitInst.ObserveSince(waitStart)
 		if err != nil {
 			s.mu.Unlock()
 			return nil, err
@@ -558,7 +637,7 @@ func (s *Server) waitLocked(ctx context.Context) error {
 // (or the server closed) while the query ran — and wakes blocked acquirers:
 // under a server-wide budget, a release anywhere may unblock a waiter on
 // any entry.
-func (s *Server) release(e *entry, engine network.Engine, w *worker) {
+func (s *Server) release(e *entry, pk poolKey, w *worker) {
 	// The run is over (both call sites receive from w.done first); drop the
 	// dead request's context and program so an idle worker doesn't pin the
 	// finished HTTP request chain while parked. The tester/detector values
@@ -571,7 +650,7 @@ func (s *Server) release(e *entry, engine network.Engine, w *worker) {
 		s.instBytes -= e.compiled.MemSize()
 		w.inst.Close()
 	} else {
-		p := e.pools[engine]
+		p := e.pools[pk]
 		p.idle = append(p.idle, w)
 	}
 	s.cond.Broadcast()
@@ -593,6 +672,12 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		defer cancel()
 	}
 
+	// In-flight tracing: only requests carrying a run-ID (the HTTP path)
+	// are tracked — fl is nil otherwise and every touch below is a no-op,
+	// so the direct Query path stays at its allocation floor.
+	fl := s.trackInflight(ctx, "query")
+	defer fl.done(s)
+
 	key, build, engine, err := req.resolve()
 	if err != nil {
 		s.failures.Add(1)
@@ -600,14 +685,16 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	}
 	// Deadline-aware rejection: a request whose remaining deadline cannot
 	// cover the median run time would only burn an instance and 504 anyway
-	// — shed it now, while it is still cheap for both sides.
-	if p50 := s.lat.p50(); p50 > 0 {
+	// — shed it now, while it is still cheap for both sides. The median
+	// comes from the shared run-duration histogram (no lock, no sort).
+	if p50 := s.runP50(); p50 > 0 {
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < p50 {
 			return nil, s.shedded("deadline", fmt.Sprintf(
 				"remaining deadline %v below median run time %v",
 				time.Until(dl).Round(time.Microsecond), p50.Round(time.Microsecond)))
 		}
 	}
+	fl.setStage(stageAdmit)
 	if err := s.queryGate.acquire(ctx); err != nil {
 		s.countQueryErr(ctx, err)
 		return nil, err
@@ -619,18 +706,20 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	// (or while waiting for a free instance — eviction wakes waiters): the
 	// next lookup re-compiles into a live entry. The loop is bounded by
 	// ctx, which every acquire wait observes.
+	pk := poolKey{engine: engine, workers: s.opts.networkWorkers()}
 	var (
 		e   *entry
 		hit bool
 		w   *worker
 	)
+	fl.setStage(stageAcquire)
 	for {
 		e, hit, err = s.lookup(key, build)
 		if err != nil {
 			s.failures.Add(1)
 			return nil, err
 		}
-		w, err = s.acquire(ctx, e, engine)
+		w, err = s.acquire(ctx, e, pk)
 		if err == nil {
 			break
 		}
@@ -655,10 +744,11 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	// aborts at its next round barrier, so the abandoned instance re-pools
 	// within one round instead of at run completion.
 	runStart := time.Now()
+	fl.setStage(stageRun)
 	go w.run()
 	select {
 	case out := <-w.done:
-		s.release(e, engine, w)
+		s.release(e, pk, w)
 		if out.err != nil {
 			var ce *network.ErrCanceled
 			if errors.As(out.err, &ce) {
@@ -675,7 +765,8 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 			s.failures.Add(1)
 			return nil, out.err
 		}
-		s.lat.record(time.Since(runStart)) // successful runs only: shed/abort times would skew the median down
+		s.met.run.ObserveSince(runStart) // successful runs only: shed/abort times would skew the median down
+		s.met.query.ObserveSince(start)
 		out.resp.Cache = "miss"
 		if hit {
 			out.resp.Cache = "hit"
@@ -686,7 +777,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		s.countQueryErr(ctx, ctx.Err())
 		go func() {
 			<-w.done // the cancelled run parks within one round
-			s.release(e, engine, w)
+			s.release(e, pk, w)
 		}()
 		verb := "canceled"
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -822,6 +913,11 @@ type Stats struct {
 	// Entries lists the cached graphs in recency order (most recent
 	// first), with per-entry size, hit count, and age.
 	Entries []EntryStats `json:"entries,omitempty"`
+	// InFlightRequests lists run-ID-tracked requests currently inside the
+	// server, oldest first, with the stage each is in — the "where is my
+	// slow request" view (only requests whose context carries a run-ID
+	// appear; the HTTP layer attaches one to every request).
+	InFlightRequests []InFlightRequestStats `json:"in_flight_requests,omitempty"`
 }
 
 // Stats returns a snapshot of the cache and traffic counters.
@@ -852,6 +948,7 @@ func (s *Server) Stats() Stats {
 		st.HitRate = float64(st.Hits) / float64(lookups)
 	}
 	now := time.Now()
+	st.InFlightRequests = s.inflightSnapshot(now)
 	s.mu.Lock()
 	st.GraphsCached = len(s.entries)
 	st.CacheBytes = s.cacheBytes
@@ -885,21 +982,34 @@ func (s *Server) Stats() Stats {
 type coreProvider struct{ s *Server }
 
 // Acquire implements sweep.CoreProvider. It mirrors Query's
-// lookup-acquire-retry loop, including the eviction retry.
+// lookup-acquire-retry loop, including the eviction retry. The scheduler's
+// budgeted engine width (pt.Workers) is honored, clamped to the hardware:
+// this is the scheduler/budget handshake that lets /sweep trials run wider
+// than the server's per-query NetworkWorkers (historically every trial ran
+// at width 1) while the server-wide instance budget still bounds how many
+// such instances exist at once. Width is part of the pool key, so sweep
+// checkouts never poach a query-width warm instance or vice versa.
 func (p coreProvider) Acquire(ctx context.Context, pt sweep.TrialPoint) (*network.Instance, func(), error) {
 	key := familyKey(pt.Graph, pt.K, pt.Eps, pt.Seed)
 	build := func() (*graph.Graph, error) {
 		return sweep.BuildGraph(pt.Graph, pt.K, pt.Eps, pt.Seed)
 	}
+	width := pt.Workers
+	if width <= 0 {
+		width = p.s.opts.networkWorkers()
+	}
+	if max := runtime.GOMAXPROCS(0); width > max {
+		width = max
+	}
+	pk := poolKey{engine: pt.Engine, workers: width}
 	for {
 		e, _, err := p.s.lookup(key, build)
 		if err != nil {
 			return nil, nil, err
 		}
-		w, err := p.s.acquire(ctx, e, pt.Engine)
+		w, err := p.s.acquire(ctx, e, pk)
 		if err == nil {
-			engine := pt.Engine
-			return w.inst, func() { p.s.release(e, engine, w) }, nil
+			return w.inst, func() { p.s.release(e, pk, w) }, nil
 		}
 		if errors.Is(err, errEvicted) {
 			if ctx.Err() == nil {
@@ -952,6 +1062,10 @@ func (s *Server) admitSweep(ctx context.Context) (release func(), err error) {
 // contract).
 func (s *Server) runSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.Sink) (*sweep.Summary, error) {
 	s.sweeps.Add(1)
+	start := time.Now()
+	fl := s.trackInflight(ctx, "sweep")
+	fl.setStage(stageRun)
+	defer fl.done(s)
 	if cap := s.opts.sweepWorkers(); spec.Workers <= 0 || spec.Workers > cap {
 		spec.Workers = cap
 	}
@@ -959,9 +1073,12 @@ func (s *Server) runSweep(ctx context.Context, spec *sweep.Spec, sinks ...sweep.
 	if spec.BandwidthBits == s.opts.BandwidthBits {
 		provider = coreProvider{s: s}
 	}
-	sum, err := sweep.RunCtx(ctx, spec, provider, sinks...)
+	sum, err := sweep.RunCtxProgress(ctx, spec, provider, &s.sweepProg, sinks...)
 	if sum != nil {
 		s.sweepRetries.Add(sum.Retries)
+	}
+	if err == nil {
+		s.met.sweepDur.ObserveSince(start)
 	}
 	var ov *ErrOverloaded
 	if err != nil && !errors.Is(err, context.Canceled) && !errors.As(err, &ov) {

@@ -370,6 +370,35 @@ type TrialPoint struct {
 	Engine network.Engine
 	// BandwidthBits is the per-message budget the core enforces (0 = none).
 	BandwidthBits int
+	// Workers is the engine width the scheduler budgeted for this job's
+	// instance: the scheduler sizes it so that scheduler workers × engine
+	// width ≈ GOMAXPROCS. Providers should honor it (clamped to their own
+	// resource policy) rather than substitute a fixed width; 0 leaves the
+	// width to the provider. Instance.Workers() reports what a checkout
+	// actually got.
+	Workers int
+}
+
+// Progress is a live, additively-shared view of one or more running
+// sweeps: every field is atomic, updated by the scheduler as work
+// happens, so an observer (a /metrics scrape, a progress bar) can read a
+// mid-flight sweep without synchronizing with it. One Progress may be
+// passed to many concurrent RunCtxProgress calls — a server aggregates
+// all its sweeps into one — which is why the fields are cumulative
+// counters plus an instantaneous worker gauge, not per-sweep snapshots.
+type Progress struct {
+	// Jobs is the total number of grid jobs admitted across sweeps.
+	Jobs atomic.Int64
+	// JobsDone counts jobs whose trials all completed.
+	JobsDone atomic.Int64
+	// Trials counts individual completed trials — the sweep throughput
+	// numerator.
+	Trials atomic.Int64
+	// Retries counts transient-failure retries (mirrors Summary.Retries).
+	Retries atomic.Int64
+	// ActiveWorkers is the number of scheduler workers currently running
+	// a job's trials, across all sweeps sharing this Progress.
+	ActiveWorkers atomic.Int64
 }
 
 // IsTransient reports whether err is worth retrying: something in its
@@ -495,7 +524,11 @@ func (p *localProvider) Acquire(ctx context.Context, pt TrialPoint) (*network.In
 	if e.err != nil {
 		return nil, nil, e.err
 	}
-	inst, err := e.c.NewInstance(network.InstanceOptions{Engine: pt.Engine, Workers: p.workers})
+	width := pt.Workers
+	if width <= 0 {
+		width = p.workers
+	}
+	inst, err := e.c.NewInstance(network.InstanceOptions{Engine: pt.Engine, Workers: width})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -537,6 +570,16 @@ func Run(spec *Spec, sinks ...Sink) (*Summary, error) {
 // selects the standalone per-sweep provider (compile each distinct graph
 // once, pool instances per graph and engine).
 func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sink) (*Summary, error) {
+	return RunCtxProgress(ctx, spec, provider, nil, sinks...)
+}
+
+// RunCtxProgress is RunCtx with live observability: when prog is non-nil
+// the scheduler publishes job/trial/retry counts and the busy-worker
+// gauge into it as the sweep runs, so a long sweep is inspectable
+// mid-flight (internal/serve exports one server-wide Progress through
+// /metrics). prog may be shared by concurrent sweeps — its counters are
+// cumulative across them.
+func RunCtxProgress(ctx context.Context, spec *Spec, provider CoreProvider, prog *Progress, sinks ...Sink) (*Summary, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -553,16 +596,22 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Split the cores between scheduler workers and each instance's engine
+	// pool, so total parallelism tracks the hardware. The width travels on
+	// every TrialPoint, so EVERY provider — not just the standalone one —
+	// sees the budgeted width and can honor it (the serve provider clamps
+	// it against its own budget; see serve.coreProvider).
+	instWorkers := runtime.GOMAXPROCS(0) / workers
+	if instWorkers < 1 {
+		instWorkers = 1
+	}
 	if provider == nil {
-		// Split the cores between scheduler workers and each instance's BSP
-		// pool, so total parallelism tracks the hardware.
-		nwWorkers := runtime.GOMAXPROCS(0) / workers
-		if nwWorkers < 1 {
-			nwWorkers = 1
-		}
-		local := newLocalProvider(spec, nwWorkers)
+		local := newLocalProvider(spec, instWorkers)
 		defer local.close()
 		provider = local
+	}
+	if prog != nil {
+		prog.Jobs.Add(int64(len(jobs)))
 	}
 
 	// firstErr is guarded by failMu, not a sync.Once: the context watcher
@@ -596,7 +645,7 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			worker(ctx, spec, provider, jobCh, resCh, cancel, fail, &retries)
+			worker(ctx, spec, provider, instWorkers, prog, jobCh, resCh, cancel, fail, &retries)
 		}()
 	}
 	go func() {
@@ -665,9 +714,9 @@ func RunCtx(ctx context.Context, spec *Spec, provider CoreProvider, sinks ...Sin
 // exponential backoff before failing the sweep, so a brief load spike on
 // the shared substrate does not kill a long sweep. Terminal failures
 // (and exhausted retries) fail the sweep immediately, as before.
-func worker(ctx context.Context, spec *Spec, provider CoreProvider,
-	jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{}, fail func(error),
-	retries *atomic.Int64) {
+func worker(ctx context.Context, spec *Spec, provider CoreProvider, instWorkers int,
+	prog *Progress, jobCh <-chan Job, resCh chan<- Result, cancel <-chan struct{},
+	fail func(error), retries *atomic.Int64) {
 
 	maxRetries := spec.maxRetries()
 	for job := range jobCh {
@@ -676,30 +725,51 @@ func worker(ctx context.Context, spec *Spec, provider CoreProvider,
 			return
 		default:
 		}
+		if prog != nil {
+			prog.ActiveWorkers.Add(1)
+		}
 		var r Result
+		var jobErr error
 		for attempt := 0; ; attempt++ {
 			inst, release, err := provider.Acquire(ctx, TrialPoint{
 				Graph: job.Graph, K: job.K, Eps: job.Eps,
 				Seed: spec.Seed, Engine: job.Engine, BandwidthBits: spec.BandwidthBits,
+				Workers: instWorkers,
 			})
 			if err != nil {
 				err = fmt.Errorf("sweep: job %d (%s k=%d eps=%g %s): %w",
 					job.Index, job.Graph, job.K, job.Eps, job.Engine, err)
 			} else {
-				r, err = runJob(ctx, inst, spec, job)
+				r, err = runJob(ctx, inst, spec, prog, job)
 				release()
 			}
 			if err == nil {
 				break
 			}
 			if attempt >= maxRetries || !IsTransient(err) {
-				fail(err)
-				return
+				jobErr = err
+				break
 			}
 			retries.Add(1)
-			if !backoffWait(ctx, cancel, retryDelay(spec, job, attempt+1)) {
-				return // the sweep is unwinding; its first error is already set
+			if prog != nil {
+				prog.Retries.Add(1)
 			}
+			if !backoffWait(ctx, cancel, retryDelay(spec, job, attempt+1)) {
+				jobErr = errUnwinding // the sweep's first error is already set
+				break
+			}
+		}
+		if prog != nil {
+			prog.ActiveWorkers.Add(-1)
+		}
+		if jobErr != nil {
+			if jobErr != errUnwinding {
+				fail(jobErr)
+			}
+			return
+		}
+		if prog != nil {
+			prog.JobsDone.Add(1)
 		}
 		select {
 		case resCh <- r:
@@ -709,9 +779,14 @@ func worker(ctx context.Context, spec *Spec, provider CoreProvider,
 	}
 }
 
+// errUnwinding is worker-internal: a backoff wait cut short because the
+// sweep is already failing/cancelled; the first error is recorded
+// elsewhere, so the worker just leaves.
+var errUnwinding = errors.New("sweep: unwinding")
+
 // runJob executes one job's trials on a checked-out instance and aggregates
 // them into its Result row.
-func runJob(ctx context.Context, inst *network.Instance, spec *Spec, job Job) (Result, error) {
+func runJob(ctx context.Context, inst *network.Instance, spec *Spec, pr *Progress, job Job) (Result, error) {
 	g := inst.Graph()
 	// One Program value for all trials: with congest.ReusableNode support
 	// the instance re-binds the cached per-node state instead of rebuilding
@@ -738,6 +813,9 @@ func runJob(ctx context.Context, inst *network.Instance, spec *Spec, job Job) (R
 		sumBits += res.Stats.TotalBits
 		if res.Stats.MaxMessageBits > r.MaxMessageBits {
 			r.MaxMessageBits = res.Stats.MaxMessageBits
+		}
+		if pr != nil {
+			pr.Trials.Add(1)
 		}
 	}
 	r.RejectRate = float64(r.Rejects) / float64(r.Trials)
