@@ -15,7 +15,7 @@ SNAPSHOT ?= BENCH_7.json
 # and stays informational.
 ALLOCS_REGRESS_BUDGET ?= 10
 
-.PHONY: all build test race vet fmt bench bench-compare bench-gate check serve load
+.PHONY: all build test race vet fmt lint bench bench-compare bench-gate check serve load
 
 all: check
 
@@ -34,7 +34,15 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet test
+# lint runs ckvet, the repo's own analyzer suite (internal/analysis): the
+# zero-alloc / ctx-flow / metric-registration / transient-error /
+# lock-liveness invariants enforced at compile time. Dependency-free and
+# offline-friendly; CI runs the same command as a blocking step. See
+# README "Static analysis".
+lint:
+	go run ./cmd/ckvet ./...
+
+check: fmt vet lint test
 
 # serve starts the query-serving HTTP server (see cmd/serve and
 # internal/serve; README "Query-serving layer" has a curl session).

@@ -1,0 +1,102 @@
+package analysis
+
+// A miniature analysistest: golden packages under testdata/src/<name>
+// carry `// want "regexp"` comments on the lines where an analyzer must
+// report, and the harness fails on both missed and unexpected
+// diagnostics — the same contract as x/tools' analysistest, so the
+// golden suites port unchanged if the framework ever migrates upstream.
+// Testdata packages are real, type-checked Go (the go command ignores
+// testdata/ in ./... expansion but lists explicit paths fine).
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// RunTest loads testdata/src/<pkg> relative to the analysis package and
+// checks analyzers' diagnostics against its want comments.
+func RunTest(t *testing.T, pkg string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	pkgs, err := Load(".", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	diags := Run(pkgs, analyzers)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[lineKey][]*want{}
+	p := pkgs[0]
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, pat := range splitWantPatterns(t, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+// splitWantPatterns parses the backquoted or double-quoted patterns of a
+// want comment: `// want "a" "b"`.
+func splitWantPatterns(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("malformed want comment near %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("unterminated want pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package analysis
+
+// hotalloc enforces the repo's 0-alloc steady-state invariant at compile
+// time. Functions annotated //ckvet:allocfree — the engine round loops,
+// the wire codec, the metrics recording ops — may not contain
+// allocation-inducing constructs:
+//
+//   - make, new, map/slice literals, &T{} (a struct literal used as a
+//     VALUE is a plain store and stays allowed)
+//   - append that abandons its backing array (any append whose result is
+//     not assigned back to the slice it extends; x = append(x, ...) and
+//     x = append(x[:0], ...) are the sanctioned reuse idioms)
+//   - closures capturing variables, go statements, method values
+//   - string<->[]byte/[]rune conversions
+//   - calls into fmt, errors.New, and the allocating strconv/sort helpers
+//   - interface boxing of non-pointer-shaped values (pointers, maps,
+//     chans and funcs box without allocating; structs, ints and slices do
+//     not, except zero-size values)
+//
+// The obligation propagates through direct static calls to same-package
+// functions, transitively, so annotating an engine loop covers its helper
+// methods; a callee marked //ckvet:allocs <reason> is a declared cold
+// path (error assembly, panic recovery) and stops the propagation.
+// Cross-package calls are checked against the deny list only — callees in
+// other packages of this module carry their own annotations and are
+// verified when their package is analyzed. Calls through interfaces and
+// function values are invisible here; the runtime allocation tests
+// (TestRunAllocFree and friends) remain the backstop for those.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-inducing constructs in //ckvet:allocfree functions",
+	Run:  runHotAlloc,
+}
+
+// allocDeny are cross-package calls known to allocate per call.
+var allocDeny = map[string][]string{
+	"fmt":     nil, // every fmt function allocates (nil = all)
+	"errors":  {"New"},
+	"strconv": {"Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote", "QuoteRune"},
+	"strings": {"Join", "Repeat", "Split", "SplitN", "Fields", "ToUpper", "ToLower"},
+	"sort":    {"Slice", "SliceStable", "SliceIsSorted"},
+}
+
+func denied(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := allocDeny[fn.Pkg().Path()]
+	if !ok {
+		return false
+	}
+	if names == nil {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+type hotallocItem struct {
+	body *ast.BlockStmt
+	name string
+	root string // the //ckvet:allocfree function this obligation came from
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.TypesInfo()
+	fd := collectFuncDirectives(pass.Pkg)
+
+	// Same-package function declarations, for propagation.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+
+	var queue []hotallocItem
+	seen := map[ast.Node]bool{}
+	enqueueDecl := func(decl *ast.FuncDecl, root string) {
+		if seen[decl] || decl.Body == nil {
+			return
+		}
+		seen[decl] = true
+		queue = append(queue, hotallocItem{body: decl.Body, name: funcDisplayName(decl), root: root})
+	}
+
+	// Seed with every annotated FuncDecl and FuncLit.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if fd.allocFree[n] {
+					enqueueDecl(n, "")
+				}
+			case *ast.FuncLit:
+				if fd.allocFree[n] && !seen[n] {
+					seen[n] = true
+					pos := pass.Fset().Position(n.Pos())
+					queue = append(queue, hotallocItem{
+						body: n.Body,
+						name: fmt.Sprintf("func literal at line %d", pos.Line),
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	c := &hotallocChecker{pass: pass, info: info}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, callee := range c.check(it) {
+			decl := decls[callee]
+			if decl == nil || fd.allocsOK[decl] || fd.allocFree[decl] {
+				continue // cold path, or independently annotated
+			}
+			root := it.root
+			if root == "" {
+				root = it.name
+			}
+			enqueueDecl(decl, root)
+		}
+	}
+}
+
+type hotallocChecker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// check walks one allocfree obligation and returns the same-package
+// static callees the obligation propagates to.
+func (c *hotallocChecker) check(it hotallocItem) []*types.Func {
+	var callees []*types.Func
+	where := it.name
+	if it.root != "" {
+		where = fmt.Sprintf("%s (reached from //ckvet:allocfree %s)", it.name, it.root)
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		c.pass.Reportf(pos, "%s in allocfree function %s",
+			fmt.Sprintf(format, args...), where)
+	}
+
+	sanctionedAppend := map[*ast.CallExpr]bool{}
+	callFuns := map[ast.Expr]bool{}
+	reportedLits := map[*ast.CompositeLit]bool{}
+
+	ast.Inspect(it.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if c.captures(n) {
+				report(n.Pos(), "closure capturing outer variables")
+				return false
+			}
+			return true // non-capturing literals run on the hot path; keep checking
+
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (spawns a goroutine)")
+
+		case *ast.AssignStmt:
+			// x = append(x, ...) — including x = append(x[:0], ...) — is the
+			// sanctioned backing-array reuse idiom.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok &&
+					isBuiltinCall(c.info, call, "append") && len(call.Args) > 0 &&
+					sameBaseExpr(c.info, n.Lhs[0], call.Args[0]) {
+					sanctionedAppend[call] = true
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					reportedLits[lit] = true
+					report(n.Pos(), "&composite literal (heap-allocates)")
+				}
+			}
+
+		case *ast.CompositeLit:
+			if reportedLits[n] {
+				return true
+			}
+			if tv, ok := c.info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal")
+				case *types.Map:
+					report(n.Pos(), "map literal")
+				}
+			}
+
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(n.Fun)] = true
+			callees = append(callees, c.checkCall(n, sanctionedAppend, report)...)
+
+		case *ast.SelectorExpr:
+			// A method used as a value (not called) allocates its binding.
+			if !callFuns[n] {
+				if sel, ok := c.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					report(n.Pos(), "method value %s (allocates a bound closure)", n.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+func (c *hotallocChecker) checkCall(call *ast.CallExpr,
+	sanctioned map[*ast.CallExpr]bool, report func(token.Pos, string, ...any)) []*types.Func {
+
+	// Builtins.
+	switch {
+	case isBuiltinCall(c.info, call, "append"):
+		if !sanctioned[call] {
+			report(call.Pos(), "append whose result does not reuse its operand's backing array")
+		}
+		return nil
+	case isBuiltinCall(c.info, call, "make"):
+		report(call.Pos(), "make")
+		return nil
+	case isBuiltinCall(c.info, call, "new"):
+		report(call.Pos(), "new")
+		return nil
+	case isBuiltinCall(c.info, call, "panic"):
+		// panic's operand is boxed into an any.
+		if len(call.Args) == 1 {
+			c.checkBoxing(call.Args[0], types.NewInterfaceType(nil, nil), report)
+		}
+		return nil
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if to, ok := isTypeConversion(c.info, call); ok {
+		if len(call.Args) == 1 {
+			from := c.info.Types[call.Args[0]].Type
+			if from != nil && allocatingConversion(from, to) {
+				report(call.Pos(), "%s(%s) conversion (copies its operand)",
+					types.TypeString(to, types.RelativeTo(c.pass.TypesPkg())),
+					types.TypeString(from, types.RelativeTo(c.pass.TypesPkg())))
+			}
+		}
+		return nil
+	}
+
+	fn := staticCallee(c.info, call)
+	if denied(fn) {
+		report(call.Pos(), "call to %s.%s", fn.Pkg().Name(), fn.Name())
+		return nil
+	}
+
+	// Interface boxing at the call boundary.
+	if sig, ok := c.info.Types[call.Fun].Type.(*types.Signature); ok {
+		c.checkCallBoxing(call, sig, report)
+	}
+
+	if fn != nil && fn.Pkg() == c.pass.TypesPkg() {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters.
+func (c *hotallocChecker) checkCallBoxing(call *ast.CallExpr, sig *types.Signature,
+	report func(token.Pos, string, ...any)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // a ...slice pass-through does not box per element
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			c.checkBoxing(arg, pt, report)
+		}
+	}
+}
+
+// checkBoxing reports arg if converting it to an interface heap-allocates:
+// concrete, not pointer-shaped, not zero-size.
+func (c *hotallocChecker) checkBoxing(arg ast.Expr, _ types.Type,
+	report func(token.Pos, string, ...any)) {
+	tv, ok := c.info.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	at := tv.Type
+	if tv.IsNil() || types.IsInterface(at) {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	}
+	if sizes := types.SizesFor("gc", "amd64"); sizes != nil {
+		if s := sizes.Sizeof(at); s == 0 {
+			return // zero-size values box to a shared sentinel
+		}
+	}
+	report(arg.Pos(), "interface boxing of %s value",
+		types.TypeString(at, types.RelativeTo(c.pass.TypesPkg())))
+}
+
+// allocatingConversion reports string<->[]byte/[]rune pairs.
+func allocatingConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isString(to))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// captures reports whether lit references any variable declared outside
+// itself but inside some enclosing function — the case where the closure
+// (or its captured variables) must be heap-allocated.
+func (c *hotallocChecker) captures(lit *ast.FuncLit) bool {
+	pkgScope := c.pass.TypesPkg().Scope()
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == pkgScope {
+			return true // package-level or universe: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// funcDisplayName renders "Name" or "Recv.Name" for messages.
+func funcDisplayName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return id.Name + "." + decl.Name.Name
+		}
+	}
+	return decl.Name.Name
+}

@@ -1,0 +1,172 @@
+package analysis
+
+// Package loading. ckvet type-checks packages from source the same way
+// `go vet` does: the `go` command supplies the dependency graph and
+// compiled export data (`go list -deps -export -json`), and the target
+// packages' own files are parsed and type-checked here. Everything comes
+// from the standard library — go/parser, go/types, and go/importer's
+// gc-export-data reader — so the suite adds no module dependencies and
+// works offline (the go command builds export data from the local build
+// cache).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: syntax plus types.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir, type-checks every
+// matched non-test package, and returns them in `go list` order. Load
+// fails on the first package that does not build: the analyzers require
+// complete type information to be trustworthy.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for src, resolved := range lp.ImportMap {
+			importMap[src] = resolved
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses lp's non-test files and type-checks them against the
+// export data of its imports.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    fset,
+	}
+	for _, f := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, f)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+	}
+
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: %s does not type-check:\n  %s",
+			lp.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/wire", "./internal/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete load", p.PkgPath)
+		}
+	}
+	net := pkgs[1]
+	if net.PkgPath != "cycledetect/internal/network" {
+		t.Fatalf("unexpected order: %s", net.PkgPath)
+	}
+	// Cross-package types must resolve through export data: Instance's
+	// ctxDone field comes from a std import, its c field from the module.
+	inst := net.Types.Scope().Lookup("Instance")
+	if inst == nil {
+		t.Fatal("Instance not found in network scope")
+	}
+}

@@ -1,0 +1,22 @@
+// Package ckvetdirective exercises the Directives meta-analyzer. The
+// expectations live in analyzers_test.go (TestDirectives) rather than in
+// `// want` comments: the diagnostics land on the directive comments
+// themselves, and a line comment cannot carry a second comment.
+package ckvetdirective
+
+//ckvet:allocfree
+func annotated() int { return 1 }
+
+//ckvet:allocs building the panic value is the cold path
+func justified() {}
+
+//ckvet:allocs
+func reasonless() {}
+
+//ckvet:allocsfree
+func typoed() int { return 2 }
+
+func suppressions() {
+	_ = annotated() //ckvet:ignore exercised at startup only
+	_ = typoed()    //ckvet:ignore
+}

@@ -1,0 +1,122 @@
+// Package hotalloc is the golden suite for the hotalloc analyzer: every
+// `// want` comment marks a line that must produce a diagnostic, and
+// every unmarked construct must stay clean.
+package hotalloc
+
+import "fmt"
+
+type buf struct {
+	data []byte
+	n    int
+}
+
+// Bad trips one finding per allocation-inducing construct.
+//
+//ckvet:allocfree
+func (b *buf) Bad(p []byte) string {
+	m := make([]byte, 8) // want `make`
+	_ = m
+	s := []int{1, 2, 3} // want `slice literal`
+	_ = s
+	mp := map[string]int{} // want `map literal`
+	_ = mp
+	e := &buf{} // want `&composite literal`
+	_ = e
+	b.data = append(b.data, p...)
+	b.data = append(b.data[:0], p...)
+	grown := append(b.data, p...) // want `append whose result does not reuse`
+	_ = grown
+	return fmt.Sprintf("%d", b.n) // want `call to fmt.Sprintf`
+}
+
+// loop is clean itself; the obligation propagates into helper.
+//
+//ckvet:allocfree
+func loop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += helper(x)
+	}
+	return total
+}
+
+func helper(x int) int {
+	p := new(int) // want `new`
+	*p = x * 2
+	return *p
+}
+
+//ckvet:allocs error assembly is the cold path
+func coldPath(x int) error {
+	return fmt.Errorf("bad value %d", x)
+}
+
+// useCold stays clean: coldPath declares its allocations.
+//
+//ckvet:allocfree
+func useCold(x int) error {
+	if x < 0 {
+		return coldPath(x)
+	}
+	return nil
+}
+
+//ckvet:allocfree
+func closures(xs []int) int {
+	n := 0
+	f := func() { n++ } // want `closure capturing outer variables`
+	f()
+	g := func(a int) int { return a + 1 } // non-capturing: allowed
+	return n + g(len(xs))
+}
+
+//ckvet:allocfree
+func spawn(ch chan int) {
+	go sendOne(ch) // want `go statement`
+}
+
+func sendOne(ch chan int) { ch <- 1 }
+
+//ckvet:allocfree
+func convert(p []byte) string {
+	return string(p) // want `conversion`
+}
+
+func sink(v any) { _ = v }
+
+//ckvet:allocfree
+func boxing(b *buf, n int) {
+	sink(b) // pointers box without allocating
+	sink(n) // want `interface boxing of int value`
+}
+
+//ckvet:allocfree
+func methodValue(b *buf) func([]byte) string {
+	return b.Bad // want `method value Bad`
+}
+
+// suppressed shows //ckvet:ignore eating a finding on its line.
+//
+//ckvet:allocfree
+func suppressed() *buf {
+	return &buf{} //ckvet:ignore startup-time allocation, not on the hot path
+}
+
+// phase-closure idiom: the directive above the assignment governs the
+// func literal on its right-hand side.
+func buildPhases() (func() int, func() []int) {
+	//ckvet:allocfree
+	hot := func() int { return 1 }
+	cold := func() []int {
+		return make([]int, 4) // unannotated literal: allowed
+	}
+	return hot, cold
+}
+
+func annotatedLit() func() []int {
+	//ckvet:allocfree
+	lit := func() []int {
+		return make([]int, 4) // want `make`
+	}
+	return lit
+}

@@ -1,0 +1,83 @@
+// Package lockhold is the golden suite for the lockhold analyzer.
+package lockhold
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	done chan struct{}
+	n    int
+}
+
+func (s *server) bad(w io.Writer) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)  // want `time.Sleep while holding s.mu`
+	s.ch <- 1                     // want `channel send while holding s.mu`
+	<-s.done                      // want `channel receive while holding s.mu`
+	fmt.Fprintf(w, "n=%d\n", s.n) // want `fmt.Fprintf while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) interfaceWrite(w io.Writer, p []byte) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	w.Write(p) // want `Write on an interface writer while holding s.rw`
+}
+
+func (s *server) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding s.mu`
+	case v := <-s.ch:
+		s.n = v
+	case <-s.done:
+	}
+}
+
+// good releases the lock before blocking; nothing fires.
+func (s *server) good() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.ch <- n
+	return n
+}
+
+// nonBlocking: plain memory ops and selects with a default are fine
+// under a lock.
+func (s *server) nonBlocking() {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.n++
+	select {
+	case s.ch <- s.n:
+	default:
+	}
+}
+
+// spawned goroutines do not inherit the caller's locks.
+func (s *server) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// branch state is tracked per-arm: the locked arm flags, the other not.
+func (s *server) branches(locked bool) {
+	if locked {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+	} else {
+		time.Sleep(time.Millisecond)
+	}
+}

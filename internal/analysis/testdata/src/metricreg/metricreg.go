@@ -1,0 +1,40 @@
+// Package metricreg is the golden suite for the metricreg analyzer.
+package metricreg
+
+import "cycledetect/internal/analysis/testdata/src/metricreg/metrics"
+
+const engineLabel = "engine"
+
+func register(r *metrics.Registry, which string) {
+	c := r.Counter("runs_total", "total runs", metrics.L(engineLabel, "bsp"))
+	_ = c
+	r.Counter("runs_total", "dup", metrics.L(engineLabel, "bsp")) // want `duplicate registration of series runs_total`
+	r.Gauge("runs_total", "kind clash")                           // want `registered as both counter and gauge`
+	r.Counter(which, "dynamic name")                              // want `metric name must be a compile-time constant`
+	r.Counter("sheds_total", "sheds", metrics.L("engine", which)) // want `label value must be a compile-time constant`
+	g := r.Gauge("depth", "queue depth")
+	_ = g
+}
+
+func registerMore(r *metrics.Registry) {
+	h := r.Histogram("latency_us", "run latency", []int64{1, 2, 4}, 1.0, metrics.L("stage", "send"))
+	_ = h
+	r.GaugeFunc("inflight", "inflight runs", func() int64 { return 0 })
+	r.CounterFunc("ticks", "scheduler ticks", func() int64 { return 0 }, metrics.L("tier", "serve"))
+}
+
+var stray metrics.Counter // want `zero-value metrics.Counter`
+
+type holder struct {
+	c metrics.Counter // want `embedded metrics.Counter value`
+
+	// Holding the pointer a Registry hands out is the sanctioned shape.
+	ok *metrics.Counter
+}
+
+func direct() (*metrics.Counter, *holder) {
+	c := metrics.Counter{} // want `metrics.Counter constructed directly`
+	_ = c
+	p := new(metrics.Counter) // want `new\(metrics.Counter\) is never registered`
+	return p, &holder{}
+}

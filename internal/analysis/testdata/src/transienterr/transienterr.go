@@ -1,0 +1,60 @@
+// Package transienterr is the golden suite for the transienterr analyzer.
+package transienterr
+
+import "errors"
+
+// ErrShed mirrors the serve tier's transient errors: Transient and Error
+// both live on the pointer receiver.
+type ErrShed struct{ Queue string }
+
+func (e *ErrShed) Error() string   { return "shed: " + e.Queue }
+func (e *ErrShed) Transient() bool { return true }
+
+// ErrFatal has no Transient method; direct handling of it stays clean.
+type ErrFatal struct{}
+
+func (e *ErrFatal) Error() string { return "fatal" }
+
+var sentinel = &ErrShed{Queue: "run"}
+
+func construct(q string) error {
+	e := ErrShed{Queue: q} // want `ErrShed constructed by value`
+	if q == "" {
+		return &e
+	}
+	return &ErrShed{Queue: q}
+}
+
+func compare(err error) bool {
+	if err == sentinel { // want `ErrShed compared with == misses wrapped errors`
+		return true
+	}
+	if err != sentinel { // want `ErrShed compared with != misses wrapped errors`
+		return false
+	}
+	if _, ok := err.(*ErrShed); ok { // want `type assertion to ErrShed misses wrapped errors`
+		return true
+	}
+	switch err.(type) {
+	case *ErrShed: // want `type switch case ErrShed misses wrapped errors`
+		return true
+	case *ErrFatal:
+		return false
+	}
+	return false
+}
+
+// classify is the sanctioned pattern: errors.As sees through wrapping.
+func classify(err error) bool {
+	var shed *ErrShed
+	if errors.As(err, &shed) {
+		return shed.Transient()
+	}
+	return err == nil // nil checks are always fine
+}
+
+// fatalOnly handles a non-transient error type directly; nothing fires.
+func fatalOnly(err error) bool {
+	_, ok := err.(*ErrFatal)
+	return ok
+}

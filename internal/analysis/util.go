@@ -1,0 +1,159 @@
+package analysis
+
+// Shared type- and AST-plumbing for the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// staticCallee resolves a call's target to a *types.Func when the callee
+// is named statically (an identifier or a selector); calls through
+// function values and built-ins return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isTypeConversion reports whether call is a conversion T(x), returning T.
+func isTypeConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// pkgFunc reports whether fn is the function path.name (e.g. "fmt",
+// "Errorf"); name "" matches any function of the package.
+func pkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != path {
+		return false
+	}
+	return name == "" || fn.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// sameBaseExpr reports whether two expressions denote the same storage
+// location, after stripping parens, slicings (x[:0] re-slices x's
+// backing), and address-of/deref pairs. Identifiers must resolve to the
+// same object; selectors and index expressions must match structurally.
+// Used by hotalloc to accept the self-append idiom x = append(x, ...).
+func sameBaseExpr(info *types.Info, a, b ast.Expr) bool {
+	a, b = stripToBase(a), stripToBase(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := identObject(info, a)
+		bo := identObject(info, b)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return info.Uses[a.Sel] == info.Uses[b.Sel] && sameBaseExpr(info, a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		// Indexes must be textually comparable objects or identical
+		// literals; anything fancier is treated as different.
+		return sameBaseExpr(info, a.X, b.X) && sameSimpleIndex(info, a.Index, b.Index)
+	case *ast.StarExpr:
+		b, ok := b.(*ast.StarExpr)
+		if !ok {
+			return false
+		}
+		return sameBaseExpr(info, a.X, b.X)
+	}
+	return false
+}
+
+// stripToBase unwraps parens and slicings down to the sliced operand.
+func stripToBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+func sameSimpleIndex(info *types.Info, a, b ast.Expr) bool {
+	ai, aok := ast.Unparen(a).(*ast.Ident)
+	bi, bok := ast.Unparen(b).(*ast.Ident)
+	if aok && bok {
+		ao := identObject(info, ai)
+		return ao != nil && ao == identObject(info, bi)
+	}
+	return false
+}
+
+// exprString renders a lock-guard expression (x, s.mu, g.s.mu) for state
+// keys and messages. Only the shapes lock guards take are handled;
+// anything else renders as "?" and never matches.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "?"
+}

@@ -185,6 +185,8 @@ func (nw *Instance) disarmFault() {
 // cause. Safe to call from multiple node goroutines; only the first
 // cause sticks — and it unwraps to context.Canceled, so the usual
 // cancellation checks (errors.Is(err, context.Canceled)) still hold.
+//
+//ckvet:allocs fault-injection path, never on a production run
 func (nw *Instance) fireFaultCancel() {
 	nw.faultCancel(&ErrInjected{Kind: FaultCancel, Err: context.Canceled})
 }
@@ -194,6 +196,8 @@ func (nw *Instance) fireFaultCancel() {
 // neighbor, shaped exactly like a real receiver-side detection — same
 // error type, same rank at the recording site — so the deterministic
 // cross-engine error selection treats it identically to the real thing.
+//
+//ckvet:allocs fault-injection path, never on a production run
 func (nw *Instance) injectedBandwidthErr(v, round int) error {
 	ids := nw.c.topo.IDs()
 	from := ids[v]

@@ -290,6 +290,7 @@ func (nw *Instance) buildBSP() {
 		nw.pool = NewWorkerPool(workers, n)
 	}
 
+	//ckvet:allocfree
 	nw.sendPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			clearPayloads(nw.out[v])
@@ -306,6 +307,7 @@ func (nw *Instance) buildBSP() {
 	}
 	// Delivery iterates by receiver so each worker writes only its own
 	// shard's in-tables; senders' out-tables are read-only during the phase.
+	//ckvet:allocfree
 	nw.deliverPhase = func(w, lo, hi int) {
 		st := &nw.perWorker[w]
 		budget := nw.c.opts.BandwidthBits
@@ -332,7 +334,7 @@ func (nw *Instance) buildBSP() {
 				st.Observe(nw.round, bits)
 				if budget > 0 && bits > budget && nw.errs[v].err == nil {
 					ids := nw.c.topo.IDs()
-					nw.errs[v] = nodeErr{rank: sendRank(nw.round), err: &ErrBandwidth{
+					nw.errs[v] = nodeErr{rank: sendRank(nw.round), err: &ErrBandwidth{ //ckvet:ignore budget-violation abort path, the run is over
 						Round: nw.round, From: ids[u], To: ids[v],
 						Bits: bits, BudgetBit: budget,
 					}}
@@ -341,6 +343,7 @@ func (nw *Instance) buildBSP() {
 			}
 		}
 	}
+	//ckvet:allocfree
 	nw.recvPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if !nw.failed[v] {
@@ -349,6 +352,7 @@ func (nw *Instance) buildBSP() {
 			clearPayloads(nw.in[v])
 		}
 	}
+	//ckvet:allocfree
 	nw.outputPhase = func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if !nw.failed[v] {
@@ -362,6 +366,8 @@ func (nw *Instance) buildBSP() {
 // panic is converted into a recorded nodeErr and the node goes silent for
 // the rest of the run, exactly like on the channels engine. They are
 // methods (not closures) so the BSP hot path stays allocation-free.
+//
+//ckvet:allocfree
 func (nw *Instance) sendNode(w, v int) {
 	defer nw.catchNode(w, v, "Send")
 	if nw.faultOn && nw.fault.Kind == FaultPanic &&
@@ -373,17 +379,21 @@ func (nw *Instance) sendNode(w, v int) {
 	nw.nodes[v].Send(nw.round, nw.out[v])
 }
 
+//ckvet:allocfree
 func (nw *Instance) recvNode(w, v int) {
 	defer nw.catchNode(w, v, "Receive")
 	nw.nodes[v].Receive(nw.round, nw.in[v])
 }
 
+//ckvet:allocfree
 func (nw *Instance) outputNode(w, v int) {
 	defer nw.catchNode(w, v, "Output")
 	nw.res.Outputs[v] = nw.nodes[v].Output()
 }
 
 // catchNode is the deferred recovery hook of the BSP per-node calls.
+//
+//ckvet:allocs recovery path, runs only when a node panicked
 func (nw *Instance) catchNode(w, v int, what string) {
 	if p := recover(); p != nil {
 		nw.failed[v] = true
@@ -395,6 +405,7 @@ func (nw *Instance) catchNode(w, v int, what string) {
 	}
 }
 
+//ckvet:allocs recovery path, runs only when a node panicked
 func panicError(id ID, what string, round int, p any) error {
 	err := fmt.Errorf("congest: node %d panicked in %s (round %d): %v", id, what, round, p)
 	if _, ok := p.(injectedPanic); ok {
@@ -552,6 +563,8 @@ func (nw *Instance) RunProgramCtx(ctx context.Context, p Program, seed uint64) (
 // node failure recorded in the same run on both engines: which failures a
 // cut-short run observes depends on where it was cut, so ErrCanceled is
 // the only deterministic answer.
+//
+//ckvet:allocs aborted-run teardown, once per cancelled run
 func (nw *Instance) runCanceled(round int, cause error) error {
 	nw.hadErr = true
 	nw.lastProg = nil
@@ -561,6 +574,8 @@ func (nw *Instance) runCanceled(round int, cause error) error {
 // pollDone is the non-blocking cancellation poll both engine loops use at
 // their round barriers. done is nil for a never-cancellable context
 // (context.Background), making the poll free on the default path.
+//
+//ckvet:allocfree
 func pollDone(done <-chan struct{}) bool {
 	if done == nil {
 		return false
@@ -575,6 +590,8 @@ func pollDone(done <-chan struct{}) bool {
 
 // anyWorkerErr reports whether any worker recorded a failure this run; it
 // is scanned once per round barrier (workers entries, not n).
+//
+//ckvet:allocfree
 func (nw *Instance) anyWorkerErr() bool {
 	for _, e := range nw.hasErr {
 		if e {
@@ -605,10 +622,11 @@ func (nw *Instance) runFailed() error {
 	return nw.errs[best].err
 }
 
+//ckvet:allocfree
 func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 	n := nw.c.g.N()
-	done := ctx.Done() // nil for a never-cancellable context: polls vanish
-	runPhase := func(fn func(w, lo, hi int)) {
+	done := ctx.Done()                         // nil for a never-cancellable context: polls vanish
+	runPhase := func(fn func(w, lo, hi int)) { //ckvet:ignore non-escaping, stack-allocated; locked by TestRunAllocFree
 		if nw.pool == nil {
 			fn(0, 0, n)
 			return
@@ -689,6 +707,8 @@ func (nw *Instance) runBSP(ctx context.Context, rounds int) (*Result, error) {
 // therefore fully consumed — at round r, so two slots suffice, programs may
 // reuse their out buffers every round (see Node), and steady-state rounds
 // allocate nothing.
+//
+//ckvet:allocfree
 func (nw *Instance) runChannels(ctx context.Context, rounds int) (*Result, error) {
 	n := nw.c.g.N()
 	nw.chRounds = rounds
@@ -737,6 +757,8 @@ const chNoStop = (1 << 32) - 1
 // whether it may: committing advances the max (so a later stop decision is
 // >= r), and a round past an already-agreed stop is refused. Every node
 // therefore executes exactly rounds 1..stop.
+//
+//ckvet:allocfree
 func (nw *Instance) chCommit(r int) bool {
 	for {
 		w := nw.chCancel.Load()
@@ -757,6 +779,8 @@ func (nw *Instance) chCommit(r int) bool {
 // cancelled: it freezes the stop round at the highest committed round, once.
 // Nodes at lower rounds still complete the protocol up to it — at most one
 // round of extra work each — and then every goroutine parks.
+//
+//ckvet:allocfree
 func (nw *Instance) chCancelRun() {
 	for {
 		w := nw.chCancel.Load()
@@ -804,6 +828,8 @@ func (cn *chanNode) recordFailure(rank int, err error) {
 // send/receive/output isolate the node's program calls; catch is their
 // deferred recovery hook. Methods, not closures, so a run allocates only
 // when a node actually panics.
+//
+//ckvet:allocfree
 func (cn *chanNode) send(out [][]byte) {
 	defer cn.catch("Send")
 	nw := cn.nw
@@ -816,16 +842,19 @@ func (cn *chanNode) send(out [][]byte) {
 	nw.nodes[cn.v].Send(cn.round, out)
 }
 
+//ckvet:allocfree
 func (cn *chanNode) receive(in [][]byte) {
 	defer cn.catch("Receive")
 	cn.nw.nodes[cn.v].Receive(cn.round, in)
 }
 
+//ckvet:allocfree
 func (cn *chanNode) output() {
 	defer cn.catch("Output")
 	cn.nw.res.Outputs[cn.v] = cn.nw.nodes[cn.v].Output()
 }
 
+//ckvet:allocs recovery path, runs only when a node panicked
 func (cn *chanNode) catch(what string) {
 	if p := recover(); p != nil {
 		cn.failed = true
@@ -834,6 +863,7 @@ func (cn *chanNode) catch(what string) {
 	}
 }
 
+//ckvet:allocfree
 func (cn *chanNode) run() {
 	nw := cn.nw
 	v := cn.v
@@ -908,7 +938,7 @@ func (cn *chanNode) run() {
 			st.Observe(r, bits)
 			if budget > 0 && bits > budget {
 				if nw.errs[v].err == nil {
-					cn.recordFailure(sendRank(r), &ErrBandwidth{
+					cn.recordFailure(sendRank(r), &ErrBandwidth{ //ckvet:ignore budget-violation abort path, the run is over
 						Round: r, From: ids[int(ns[pt])], To: ids[v],
 						Bits: bits, BudgetBit: budget,
 					})
@@ -950,6 +980,7 @@ func sameProgram(a, b Program) bool {
 	return a == b
 }
 
+//ckvet:allocfree
 func clearPayloads(ps [][]byte) {
 	for i := range ps {
 		ps[i] = nil

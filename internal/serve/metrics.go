@@ -183,7 +183,7 @@ func newServeMetrics(s *Server) *serveMetrics {
 	// hook — the paper's own cost measures (rounds, messages) per run.
 	m.engines = map[network.Engine]*engineMetrics{}
 	for _, eng := range []network.Engine{network.EngineBSP, network.EngineChannels} {
-		l := metrics.L("engine", string(eng))
+		l := metrics.L("engine", string(eng)) //ckvet:ignore closed two-engine set, not unbounded cardinality
 		m.engines[eng] = &engineMetrics{
 			runs:     r.Counter("engine_runs_total", "Engine runs completed, any outcome.", l),
 			rounds:   r.Counter("engine_rounds_total", "CONGEST rounds executed.", l),

@@ -348,6 +348,7 @@ type worker struct {
 	// Per-run inputs/outputs, set before the goroutine handoff. ctx is the
 	// query's context: the run aborts at its next round barrier once ctx
 	// fires, which is what re-pools a 504'd query's instance promptly.
+	//ckvet:ctxfield run-handoff slot: set right before the worker goroutine starts, dead once the run returns
 	ctx  context.Context
 	prog network.Program
 	seed uint64

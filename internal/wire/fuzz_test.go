@@ -25,6 +25,83 @@ func FuzzDecodeCheck(f *testing.F) {
 	})
 }
 
+// FuzzParseCheck cross-checks the zero-copy header parse against the
+// full decoder: whenever ParseCheck accepts and Validate passes, the slow
+// path must accept too and agree on the header; whenever Validate fails,
+// the slow path must fail identically.
+func FuzzParseCheck(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{KindCheck})
+	f.Add(EncodeCheck(&Check{U: 1, V: 2, Rank: 3, Seqs: [][]ID{{4, 5}, {6}}}))
+	f.Add(EncodeCheck(&Check{U: 0, V: 0, Rank: 0, Seqs: nil}))
+	f.Add([]byte{KindCheck, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := ParseCheck(data)
+		c, derr := DecodeCheck(data)
+		if err != nil {
+			if derr == nil {
+				t.Fatalf("ParseCheck rejected (%v) what DecodeCheck accepted", err)
+			}
+			return
+		}
+		if verr := v.Validate(); verr != nil {
+			if derr == nil {
+				t.Fatalf("Validate rejected (%v) what DecodeCheck accepted", verr)
+			}
+			return
+		}
+		if derr != nil {
+			t.Fatalf("DecodeCheck rejected (%v) a validated payload", derr)
+		}
+		if v.U != c.U || v.V != c.V || v.Rank != c.Rank || v.NumSeqs != len(c.Seqs) {
+			t.Fatalf("header mismatch: view %+v vs check %+v", v, c)
+		}
+	})
+}
+
+// FuzzDecodeCheckInto checks the arena decoder against the allocating
+// one: same accept/reject decision, same sequences, and a clean arena
+// rollback on rejection.
+func FuzzDecodeCheckInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{KindCheck})
+	f.Add(EncodeCheck(&Check{U: 1, V: 2, Rank: 3, Seqs: [][]ID{{4, 5}, {6}}}))
+	f.Add(EncodeCheck(&Check{U: 7, V: 8, Rank: 9, Seqs: [][]ID{{}}}))
+	f.Add([]byte{KindCheck, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a SeqArena
+		a.Append([]ID{42}) // pre-existing content the decoder must preserve
+		v, err := DecodeCheckInto(data, &a)
+		c, derr := DecodeCheck(data)
+		if (err == nil) != (derr == nil) {
+			t.Fatalf("arena decode err=%v, slow-path err=%v", err, derr)
+		}
+		if err != nil {
+			if a.Len() != 1 || len(a.Seq(0)) != 1 || a.Seq(0)[0] != 42 {
+				t.Fatalf("failed decode did not roll the arena back: %+v", a)
+			}
+			return
+		}
+		if v.U != c.U || v.V != c.V || v.Rank != c.Rank {
+			t.Fatalf("header mismatch: view %+v vs check %+v", v, c)
+		}
+		if a.Len()-1 != len(c.Seqs) {
+			t.Fatalf("arena holds %d sequences, slow path %d", a.Len()-1, len(c.Seqs))
+		}
+		for i, seq := range c.Seqs {
+			got := a.Seq(i + 1)
+			if len(got) != len(seq) {
+				t.Fatalf("seq %d: arena %v vs slow path %v", i, got, seq)
+			}
+			for j := range seq {
+				if got[j] != seq[j] {
+					t.Fatalf("seq %d: arena %v vs slow path %v", i, got, seq)
+				}
+			}
+		}
+	})
+}
+
 func FuzzDecodeRank(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeRank(Rank{0}))

@@ -77,22 +77,31 @@ type SeqArena struct {
 }
 
 // Reset empties the arena, keeping capacity.
+//
+//ckvet:allocfree
 func (a *SeqArena) Reset() {
 	a.IDs = a.IDs[:0]
 	a.Spans = a.Spans[:0]
 }
 
 // Len returns the number of stored sequences.
+//
+//ckvet:allocfree
 func (a *SeqArena) Len() int { return len(a.Spans) }
 
 // Seq returns the i-th sequence. The slice aliases the arena and is valid
 // until the next Reset or append.
+//
+//ckvet:allocfree
 func (a *SeqArena) Seq(i int) []ID {
 	sp := a.Spans[i]
 	return a.IDs[sp.Off : sp.Off+sp.Len]
 }
 
-// Append stores a copy of seq as a new sequence.
+// Append stores a copy of seq as a new sequence. Steady state reuses the
+// arena's capacity; growth beyond it is the sanctioned append idiom.
+//
+//ckvet:allocfree
 func (a *SeqArena) Append(seq []ID) {
 	a.Spans = append(a.Spans, Span{Off: int32(len(a.IDs)), Len: int32(len(seq))})
 	a.IDs = append(a.IDs, seq...)
@@ -101,6 +110,8 @@ func (a *SeqArena) Append(seq []ID) {
 // AppendWithTail stores a copy of seq extended by one trailing ID — the
 // "append my own ID" step of Algorithm 1, done without building the extended
 // sequence anywhere else first.
+//
+//ckvet:allocfree
 func (a *SeqArena) AppendWithTail(seq []ID, tail ID) {
 	a.Spans = append(a.Spans, Span{Off: int32(len(a.IDs)), Len: int32(len(seq) + 1)})
 	a.IDs = append(a.IDs, seq...)
@@ -108,6 +119,8 @@ func (a *SeqArena) AppendWithTail(seq []ID, tail ID) {
 }
 
 // AppendRank appends the serialization of r to buf.
+//
+//ckvet:allocfree
 func AppendRank(buf []byte, r Rank) []byte {
 	buf = append(buf, KindRank)
 	return binary.AppendUvarint(buf, r.Rank)
@@ -119,12 +132,14 @@ func EncodeRank(r Rank) []byte {
 }
 
 // DecodeRank parses a Rank payload.
+//
+//ckvet:allocfree
 func DecodeRank(p []byte) (Rank, error) {
 	if len(p) == 0 {
 		return Rank{}, ErrTruncated
 	}
 	if p[0] != KindRank {
-		return Rank{}, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindRank)
+		return Rank{}, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindRank) //ckvet:ignore malformed-input path, never taken on peer-encoded payloads
 	}
 	v, n := binary.Uvarint(p[1:])
 	if n <= 0 {
@@ -137,6 +152,8 @@ func DecodeRank(p []byte) (Rank, error) {
 // with unsigned varints; fake IDs (negative) are an internal device of
 // Algorithm 1 and are never transmitted, so encoding panics if one leaks into
 // a message — that would be an algorithm bug, not an I/O condition.
+//
+//ckvet:allocfree
 func AppendCheck(buf []byte, c *Check) []byte {
 	buf = appendCheckHeader(buf, c.U, c.V, c.Rank, len(c.Seqs))
 	for _, seq := range c.Seqs {
@@ -151,6 +168,8 @@ func AppendCheck(buf []byte, c *Check) []byte {
 // AppendCheckArena appends the serialization of a check message whose
 // sequence set lives in a SeqArena. The wire format is byte-identical to
 // AppendCheck on the equivalent *Check.
+//
+//ckvet:allocfree
 func AppendCheckArena(buf []byte, u, v ID, rank uint64, a *SeqArena) []byte {
 	buf = appendCheckHeader(buf, u, v, rank, a.Len())
 	for i := 0; i < a.Len(); i++ {
@@ -178,7 +197,7 @@ func EncodeCheck(c *Check) []byte {
 
 func appendID(buf []byte, id ID) []byte {
 	if id < 0 {
-		panic(fmt.Sprintf("wire: negative (fake) ID %d must not be transmitted", id))
+		panic(fmt.Sprintf("wire: negative (fake) ID %d must not be transmitted", id)) //ckvet:ignore algorithm-bug panic, unreachable on valid runs
 	}
 	return binary.AppendUvarint(buf, uint64(id))
 }
@@ -196,13 +215,15 @@ type CheckView struct {
 
 // ParseCheck reads the header of a Check payload in place. The sequence
 // bytes are not validated; call Validate or decode them to do that.
+//
+//ckvet:allocfree
 func ParseCheck(p []byte) (CheckView, error) {
 	var v CheckView
 	if len(p) == 0 {
 		return v, ErrTruncated
 	}
 	if p[0] != KindCheck {
-		return v, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindCheck)
+		return v, fmt.Errorf("%w: got %d want %d", ErrKind, p[0], KindCheck) //ckvet:ignore malformed-input path, never taken on peer-encoded payloads
 	}
 	p = p[1:]
 	var err error
@@ -235,6 +256,8 @@ func ParseCheck(p []byte) (CheckView, error) {
 }
 
 // Iter returns an in-place iterator over the view's sequences.
+//
+//ckvet:allocfree
 func (v *CheckView) Iter() SeqIter {
 	return SeqIter{p: v.body, n: v.NumSeqs}
 }
@@ -242,6 +265,8 @@ func (v *CheckView) Iter() SeqIter {
 // Validate walks the sequence bytes without storing them and returns the
 // error DecodeCheck would return: truncated fields or trailing bytes. A nil
 // result guarantees that decoding the view cannot fail.
+//
+//ckvet:allocfree
 func (v *CheckView) Validate() error {
 	it := v.Iter()
 	for it.Skip() {
@@ -250,7 +275,7 @@ func (v *CheckView) Validate() error {
 		return it.err
 	}
 	if len(it.p) != 0 {
-		return fmt.Errorf("wire: %d trailing bytes", len(it.p))
+		return fmt.Errorf("wire: %d trailing bytes", len(it.p)) //ckvet:ignore malformed-input path, never taken on peer-encoded payloads
 	}
 	return nil
 }
@@ -258,6 +283,8 @@ func (v *CheckView) Validate() error {
 // DecodeInto appends every sequence of the view to a. On error the arena is
 // rolled back to its prior state. Trailing bytes after the last sequence are
 // an error, matching DecodeCheck.
+//
+//ckvet:allocfree
 func (v *CheckView) DecodeInto(a *SeqArena) error {
 	it := v.Iter()
 	idMark, spanMark := len(a.IDs), len(a.Spans)
@@ -272,7 +299,7 @@ func (v *CheckView) DecodeInto(a *SeqArena) error {
 	}
 	err := it.err
 	if err == nil && len(it.p) != 0 {
-		err = fmt.Errorf("wire: %d trailing bytes", len(it.p))
+		err = fmt.Errorf("wire: %d trailing bytes", len(it.p)) //ckvet:ignore malformed-input path, never taken on peer-encoded payloads
 	}
 	if err != nil {
 		a.IDs, a.Spans = a.IDs[:idMark], a.Spans[:spanMark]
@@ -285,6 +312,8 @@ func (v *CheckView) DecodeInto(a *SeqArena) error {
 // arena, returning the header. It is the hot-path replacement for
 // DecodeCheck: the arena's buffers are reused across calls, so steady-state
 // decoding allocates nothing.
+//
+//ckvet:allocfree
 func DecodeCheckInto(p []byte, a *SeqArena) (CheckView, error) {
 	v, err := ParseCheck(p)
 	if err != nil {
@@ -306,6 +335,8 @@ type SeqIter struct {
 // Next appends the next sequence's IDs to dst, returning the extended slice
 // and true; it returns false when the sequences are exhausted or malformed
 // (check Err).
+//
+//ckvet:allocfree
 func (it *SeqIter) Next(dst []ID) ([]ID, bool) {
 	ln, ok := it.head()
 	if !ok {
@@ -325,6 +356,8 @@ func (it *SeqIter) Next(dst []ID) ([]ID, bool) {
 
 // Skip advances past the next sequence without decoding its IDs into a
 // buffer; it returns false when exhausted or malformed (check Err).
+//
+//ckvet:allocfree
 func (it *SeqIter) Skip() bool {
 	ln, ok := it.head()
 	if !ok {

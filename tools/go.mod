@@ -1,0 +1,12 @@
+// Nested module pinning the repo's lint/scan tooling (staticcheck,
+// govulncheck). Separate from the root module on purpose: the root stays
+// dependency-free and builds offline, while CI resolves and installs the
+// pinned tools from here (see .github/workflows/ci.yml).
+module cycledetect/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

@@ -1,0 +1,14 @@
+//go:build tools
+
+// Package tools pins the versions of the repo's CLI tooling in a nested
+// module, replacing the floating `go install tool@version` pattern in CI:
+// bumping a tool is now a reviewed go.mod change here, and every CI run
+// uses exactly the pinned version. The build tag keeps the imports out of
+// any real build; `go mod tidy` still sees them (tidy acts as if all
+// build tags are enabled).
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
