@@ -105,13 +105,23 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Fingerprint returns a canonical identity for the graph: a hex-encoded
-// SHA-256 over (n, m, CSR offsets, CSR adjacency). Because construction
-// always goes through Builder — which sorts and deduplicates neighbor
-// lists — two graphs with the same vertex count and edge set produce the
-// same fingerprint regardless of edge insertion order, and distinct edge
-// sets produce distinct fingerprints (up to hash collision). The serving
-// layer keys its cache of compiled networks on this.
+// Fingerprint returns the CANONICAL identity of the graph: a hex-encoded
+// SHA-256 over (n, m, CSR offsets, CSR adjacency) — exactly the fields
+// AppendBinary serializes, so a graph, its encoding, and its decoded copy
+// all share one fingerprint. Because construction always goes through
+// Builder — which sorts and deduplicates neighbor lists — two graphs with
+// the same vertex count and edge set produce the same fingerprint
+// regardless of edge insertion order, and distinct edge sets produce
+// distinct fingerprints (up to hash collision). The serving layer keys its
+// cache of compiled networks on this, and the snapshot store
+// (internal/corestore) keys its on-disk manifest by the same value, so a
+// warm-started cache indexes exactly like the live one
+// (TestManifestKeyMatchesServeCacheKey pins the equality).
+//
+// This is one of two fingerprints in the package; the package-level
+// Fingerprint function in io.go is the STRUCTURAL, human-readable one used
+// by tests to diff edge sets. Use the method for identity keys, the
+// function for failure messages.
 func (g *Graph) Fingerprint() string {
 	h := sha256.New()
 	var buf [8]byte

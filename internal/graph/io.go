@@ -84,9 +84,16 @@ func ReadText(r io.Reader) (*Graph, error) {
 	return b.Build(), nil
 }
 
-// Fingerprint returns a short, order-independent structural fingerprint,
-// used in tests to compare graphs for equality (same vertex count and edge
-// set) without exposing internals.
+// Fingerprint returns a STRUCTURAL, human-readable fingerprint — the
+// vertex count and the sorted edge list, readable in a test failure — used
+// to compare graphs for equality without exposing internals. It is NOT the
+// canonical identity: cache keys and snapshot-manifest keys use the
+// Graph.Fingerprint METHOD (a SHA-256 over the CSR arrays, the same fields
+// AppendBinary serializes). Two graphs agree on one fingerprint iff they
+// agree on the other — both are functions of the edge set alone — but only
+// the method's output is stable, fixed-width, and filesystem-safe, and
+// only this function's output names the differing edges when they
+// disagree.
 func Fingerprint(g *Graph) string {
 	edges := g.Edges()
 	parts := make([]string, 0, len(edges)+1)

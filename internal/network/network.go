@@ -741,6 +741,18 @@ func (nw *Instance) runChannels(ctx context.Context, rounds int) (*Result, error
 // cancellation has been observed.
 const chNoStop = (1 << 32) - 1
 
+// StopRoundStride is the channels engine's stop-round commit granularity:
+// node goroutines reserve rounds in blocks of this many, so the armed-context
+// CAS on the shared agreement word runs once per block instead of once per
+// round — the agreement cost of an armed context drops by the stride factor
+// while the per-round cancellation POLL (a read-only, contention-free
+// channel peek) still runs every round. The trade is bounded abort latency:
+// a cancelled run stops at the end of the furthest committed block, at most
+// StopRoundStride-1 rounds past the round where cancellation was observed
+// (plus the engine's usual ≤ diameter inter-node drift).
+// BenchmarkCancelLatency pins the bound.
+const StopRoundStride = 8
+
 // The channels engine has no global barrier to hang a cancellation check
 // on — nodes drift up to one round apart — so aborting early needs the
 // nodes to AGREE on a common final round: the capacity-1 channel protocol
@@ -753,32 +765,43 @@ const chNoStop = (1 << 32) - 1
 // committed to — so commit and check are a single linearizable CAS and no
 // node can slip into a round the stop decision didn't cover.
 //
-// chCommit records that node goroutine's intent to run round r and reports
-// whether it may: committing advances the max (so a later stop decision is
-// >= r), and a round past an already-agreed stop is refused. Every node
-// therefore executes exactly rounds 1..stop.
+// chCommit records a node goroutine's intent to run the block of
+// StopRoundStride rounds starting at r (a block start: r ≡ 1 mod the
+// stride) and reports whether it may: committing advances the max to the
+// block's END (clamped to the run's round count), so a later stop decision
+// is always a block boundary every in-flight node will reach, and a block
+// start past an already-agreed stop is refused. Every node therefore
+// executes exactly rounds 1..stop. Because commits only happen at block
+// starts and stops only freeze at committed block ends, max never exceeds a
+// frozen stop and stop never lands mid-block.
 //
 //ckvet:allocfree
 func (nw *Instance) chCommit(r int) bool {
+	end := r + StopRoundStride - 1
+	if end > nw.chRounds {
+		end = nw.chRounds
+	}
 	for {
 		w := nw.chCancel.Load()
 		stop, max := w>>32, w&0xFFFFFFFF
 		if uint64(r) > stop {
 			return false
 		}
-		if uint64(r) <= max {
-			return true // an earlier committer already covers round r
+		if uint64(end) <= max {
+			return true // an earlier committer already covers this block
 		}
-		if nw.chCancel.CompareAndSwap(w, stop<<32|uint64(r)) {
+		if nw.chCancel.CompareAndSwap(w, stop<<32|uint64(end)) {
 			return true
 		}
 	}
 }
 
 // chCancelRun is run by the first node goroutine that observes the context
-// cancelled: it freezes the stop round at the highest committed round, once.
-// Nodes at lower rounds still complete the protocol up to it — at most one
-// round of extra work each — and then every goroutine parks.
+// cancelled: it freezes the stop round at the highest committed round — the
+// end of the furthest reserved block — once. Nodes at lower rounds still
+// complete the protocol up to it, at most StopRoundStride-1 rounds past the
+// observation point plus the engine's ≤ diameter drift, and then every
+// goroutine parks.
 //
 //ckvet:allocfree
 func (nw *Instance) chCancelRun() {
@@ -884,11 +907,15 @@ func (cn *chanNode) run() {
 		if nw.faultOn && nw.fault.Kind == FaultCancel && v == nw.fault.Node && r >= nw.fault.Round {
 			nw.fireFaultCancel()
 		}
-		if ctxDone != nil { // the run context can cancel: poll + commit
+		if ctxDone != nil { // the run context can cancel: poll every round
 			if pollDone(ctxDone) {
 				nw.chCancelRun()
 			}
-			if !nw.chCommit(r) {
+			// Reserve rounds a block at a time: the CAS on the shared
+			// agreement word runs once per StopRoundStride rounds, so the
+			// armed path's steady-state cost is the poll above, not
+			// cross-core contention on chCancel.
+			if (r-1)%StopRoundStride == 0 && !nw.chCommit(r) {
 				break // past the agreed stop round; park
 			}
 		}

@@ -9,10 +9,10 @@ package serve
 // sweep-progress gauges.
 //
 // Counters that already exist as the Server's atomic fields (queries,
-// hits, sheds, ...) are exposed through CounterFunc/GaugeFunc reading the
-// same atomics — one source of truth, no double counting — and
-// mutex-guarded cache state (cache bytes, idle instances) is read under
-// s.mu at scrape time only. Recording sites never touch the registry
+// sheds, ...) are exposed through CounterFunc/GaugeFunc reading the same
+// atomics — one source of truth, no double counting — and cache/instance
+// state is read from the corestore.Store's accessors at scrape time only
+// (its mutex-guarded gauges lock briefly). Recording sites never touch the registry
 // lock: everything on the query path is an atomic bump or a histogram
 // Observe, which is why arming all of this leaves the accept path at its
 // 16-alloc floor (BenchmarkServeConcurrent armed variants) and the reused
@@ -101,55 +101,47 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.shedInst = r.Counter("serve_shed_total", shedHelp, metrics.L("reason", "instances"))
 	m.shedDeadline = r.Counter("serve_shed_total", shedHelp, metrics.L("reason", "deadline"))
 
-	// Compiled-core cache.
+	// Compiled-core cache and instance budget: every series reads the
+	// store's own counters — one source of truth shared with /stats. The
+	// closures dereference s.store at scrape time (newServeMetrics runs
+	// before the store is attached; scrapes cannot happen until NewServer
+	// returns).
 	r.CounterFunc("serve_cache_hits_total", "Lookups served by a cached compiled core.",
-		s.hits.Load)
+		func() int64 { return s.store.Hits() })
 	r.CounterFunc("serve_cache_misses_total", "Lookups that had to compile.",
-		s.misses.Load)
+		func() int64 { return s.store.Misses() })
 	r.CounterFunc("serve_cache_evictions_total", "Compiled cores evicted from the LRU.",
-		s.evictions.Load)
+		func() int64 { return s.store.Evictions() })
 	r.CounterFunc("serve_cache_compiles_total", "Topology compilations ever performed.",
-		s.compiles.Load)
-	r.GaugeFunc("serve_cache_graphs", "Compiled cores currently cached.", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return int64(len(s.entries))
-	})
-	r.GaugeFunc("serve_cache_bytes", "Summed compiled size of cached cores.", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.cacheBytes
-	})
+		func() int64 { return s.store.Compiles() })
+	r.GaugeFunc("serve_cache_graphs", "Compiled cores currently cached.",
+		func() int64 { return int64(s.store.GraphsCached()) })
+	r.GaugeFunc("serve_cache_bytes", "Summed compiled size of cached cores.",
+		func() int64 { return s.store.CacheBytes() })
 	r.GaugeFunc("serve_cache_bytes_max", "The cache byte budget eviction enforces.",
-		func() int64 { return s.opts.maxCacheBytes() })
+		func() int64 { return s.store.MaxCacheBytes() })
 
 	// Instance budget — the saturation signals.
 	r.GaugeFunc("serve_instances_live", "Live instances server-wide: idle + in-flight.",
-		func() int64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return int64(s.spawned)
-		})
-	r.GaugeFunc("serve_instances_idle", "Warm instances parked in pools.", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		idle := 0
-		for el := s.lru.Front(); el != nil; el = el.Next() {
-			for _, p := range el.Value.(*entry).pools {
-				idle += len(p.idle)
-			}
-		}
-		return int64(idle)
-	})
+		func() int64 { return int64(s.store.InstancesLive()) })
+	r.GaugeFunc("serve_instances_idle", "Warm instances parked in pools.",
+		func() int64 { return int64(s.store.InstancesIdle()) })
 	r.GaugeFunc("serve_instance_budget", "The server-wide cap on live instances.",
-		func() int64 { return int64(s.opts.maxInstances()) })
-	r.GaugeFunc("serve_instance_bytes", "Bytes pinned by live instances.", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.instBytes
-	})
+		func() int64 { return int64(s.store.MaxInstances()) })
+	r.GaugeFunc("serve_instance_bytes", "Bytes pinned by live instances.",
+		func() int64 { return s.store.InstanceBytes() })
 	r.GaugeFunc("serve_instance_bytes_max", "The byte cap on live instances.",
-		func() int64 { return s.opts.maxInstanceBytes() })
+		func() int64 { return s.store.MaxInstanceBytes() })
+
+	// Durable-store series (all zero unless Options.StoreDir is set).
+	r.CounterFunc("corestore_persists_total", "Snapshot passes that wrote a manifest.",
+		func() int64 { return s.store.Persists() })
+	r.CounterFunc("corestore_warm_loads_total", "Compiled cores loaded from snapshots at warm start.",
+		func() int64 { return s.store.WarmLoads() })
+	r.CounterFunc("corestore_load_failures_total", "Snapshot files rejected as corrupt or mismatched.",
+		func() int64 { return s.store.LoadFailures() })
+	r.GaugeFunc("corestore_disk_bytes", "Bytes the on-disk snapshot currently occupies.",
+		func() int64 { return s.store.DiskBytes() })
 	r.CounterFunc("serve_faults_injected_total", "Engine faults armed by the fault plan.",
 		func() int64 {
 			if s.opts.Faults == nil {

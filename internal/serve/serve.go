@@ -6,25 +6,21 @@
 // Ck-free?" costs O(1/ε) CONGEST rounds, independent of the graph size —
 // so at serving scale the dominant cost is everything around the run:
 // building the graph, validating IDs, compiling the port topology, and
-// spawning an engine. The Server amortizes all of it with two levels of
-// reuse, both enabled by the internal/network Compiled/Instance split:
+// spawning an engine. All of that amortization lives in
+// internal/corestore: an LRU of compiled cores weighted by the bytes they
+// hold, per-(graph, engine, width) pools of warm instances under one
+// store-wide budget with coldest-graph reclaim, and — when Options.StoreDir
+// is set — durable snapshots with warm restart, so a restarted server
+// serves its previous working set without recompiling it. The Server keeps
+// what is genuinely serving: admission control (gates, deadline-aware
+// shedding, Retry-After hints), HTTP framing, request tracing, and metrics
+// exposition; every cache and instance decision is delegated to the store.
 //
-//   - an LRU cache of network.Compiled cores keyed by canonical graph
-//     fingerprint and weighted by compiled size (Compiled.MemSize, Θ(m)),
-//     so the immutable part — graph and topology — is compiled once per
-//     distinct graph, shared zero-copy by every query that names it, and
-//     evicted by the bytes it actually holds, not by entry count alone;
-//   - per (graph, engine) pools of warm network.Instances under one
-//     SERVER-WIDE instance budget, so the mutable per-run slab (nodes,
-//     coins, stats, engine goroutines) is recycled across queries instead
-//     of rebuilt, and a flood of distinct graphs degrades gracefully — cold
-//     graphs give their idle warmth back to hot ones instead of every
-//     graph hoarding its own cap.
-//
-// Both traffic classes run on this one substrate: /query checks a warm
-// instance out per run, and /sweep trials go through the same cache via
-// sweep.CoreProvider, so a sweep over a graph the query traffic already
-// compiled performs zero compiles (and vice versa).
+// Both traffic classes run on the one store: /query checks a warm instance
+// out per run through corestore.Store.Checkout, and /sweep trials go
+// through the same cache via sweep.CoreProvider, so a sweep over a graph
+// the query traffic already compiled performs zero compiles (and vice
+// versa).
 //
 // Cancellation is threaded end to end: the request context flows through
 // the instance-pool wait into network.RunProgramCtx, so a timed-out or
@@ -36,16 +32,17 @@
 // Concurrency: Instances attached to one Compiled are independent, so N
 // queries over one cached graph run genuinely in parallel while reading
 // one shared topology. Results are deterministic per (graph, program,
-// seed) — identical to a fresh sequential run, whatever the interleaving.
+// seed) — identical to a fresh sequential run, whatever the interleaving —
+// and, because a snapshot round-trips through network.Compile, identical
+// whether the core was warm-loaded from disk or compiled in-process.
 //
 // The HTTP surface (see Handler) is POST /query for single runs, POST
 // /sweep for declarative parameter sweeps streamed row-by-row (SSE or JSON
 // lines via sweep.HTTPSink), and GET /stats for cache and in-flight
-// counters including per-entry size, hits, and age.
+// counters including per-entry size, hits, age, and warm-load provenance.
 package serve
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -57,6 +54,7 @@ import (
 	"time"
 
 	"cycledetect/internal/core"
+	"cycledetect/internal/corestore"
 	"cycledetect/internal/graph"
 	"cycledetect/internal/network"
 	"cycledetect/internal/sweep"
@@ -122,6 +120,19 @@ type Options struct {
 	// negative disables the gate). Sweeps are long-lived and fan out over
 	// the shared instance budget, so the default is deliberately small.
 	MaxConcurrentSweeps int
+	// StoreDir, when non-empty, makes the compiled-core store durable:
+	// NewServer warm-starts from any snapshot already there (a restarted
+	// server serves its previous working set with zero compiles), the
+	// store snapshots the working set in the background every
+	// PersistInterval, and Close takes a final snapshot. Snapshots are
+	// CRC-checksummed and atomically replaced; anything corrupt is
+	// skipped, logged, and counted (corestore_load_failures_total) — the
+	// server just starts colder.
+	StoreDir string
+	// PersistInterval rate-limits the background snapshot loop when
+	// StoreDir is set (default 30s; negative disables the loop — Close
+	// still snapshots).
+	PersistInterval time.Duration
 	// Faults, when non-nil, injects engine faults into served runs via
 	// network.InstanceOptions — the soak tests' chaos mode. Production
 	// servers leave it nil.
@@ -145,37 +156,6 @@ type Options struct {
 
 // defaultQueryTimeout bounds queries when Options.QueryTimeout is zero.
 const defaultQueryTimeout = 30 * time.Second
-
-// defaultMaxCacheBytes bounds the compiled cache when Options.MaxCacheBytes
-// is zero.
-const defaultMaxCacheBytes = 256 << 20
-
-func (o Options) maxGraphs() int {
-	if o.MaxGraphs > 0 {
-		return o.MaxGraphs
-	}
-	if o.MaxGraphs < 0 {
-		return int(^uint(0) >> 1) // negative = unbounded, matching maxCacheBytes
-	}
-	return 64
-}
-
-func (o Options) maxCacheBytes() int64 {
-	if o.MaxCacheBytes > 0 {
-		return o.MaxCacheBytes
-	}
-	if o.MaxCacheBytes < 0 {
-		return 1 << 62 // effectively unbounded
-	}
-	return defaultMaxCacheBytes
-}
-
-func (o Options) maxInstances() int {
-	if o.MaxInstances > 0 {
-		return o.MaxInstances
-	}
-	return runtime.GOMAXPROCS(0)
-}
 
 func (o Options) queryTimeout() time.Duration {
 	if o.QueryTimeout < 0 {
@@ -201,14 +181,11 @@ func (o Options) sweepWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) maxInstanceBytes() int64 {
-	if o.MaxInstanceBytes > 0 {
-		return o.MaxInstanceBytes
+func (o Options) maxInstances() int {
+	if o.MaxInstances > 0 {
+		return o.MaxInstances
 	}
-	if o.MaxInstanceBytes < 0 {
-		return 1 << 62 // effectively unbounded, matching maxCacheBytes
-	}
-	return defaultMaxCacheBytes
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) maxQueueDepth() int {
@@ -248,21 +225,40 @@ func (o Options) maxConcurrentSweeps() int {
 	return 8
 }
 
+// storeOptions maps the server's options onto the core store's, wiring the
+// server's observability (queue-depth accounting, latency histograms, the
+// run collector, diagnostic logging) through the store's hooks.
+func (s *Server) storeOptions() corestore.Options {
+	return corestore.Options{
+		MaxGraphs:        s.opts.MaxGraphs,
+		MaxCacheBytes:    s.opts.MaxCacheBytes,
+		MaxInstances:     s.opts.MaxInstances,
+		MaxInstanceBytes: s.opts.MaxInstanceBytes,
+		MaxQueueDepth:    s.opts.MaxQueueDepth,
+		DefaultWorkers:   s.opts.NetworkWorkers,
+		BandwidthBits:    s.opts.BandwidthBits,
+		Faults:           s.opts.Faults,
+		Collector:        s.met,
+		Dir:              s.opts.StoreDir,
+		PersistInterval:  s.opts.PersistInterval,
+		Logf:             s.logf,
+		OnQueueEnter:     s.enterQueue,
+		OnQueueLeave:     s.leaveQueue,
+		ObserveWait:      func(d time.Duration) { s.met.queueWaitInst.Observe(int64(d)) },
+		ObserveAcquire:   func(d time.Duration) { s.met.acquire.Observe(int64(d)) },
+	}
+}
+
 // Server serves tester queries over cached compiled networks. Create with
 // NewServer, expose with Handler (or call Query directly), release with
 // Close. All methods are safe for concurrent use.
 type Server struct {
 	opts Options
 
-	mu            sync.Mutex
-	cond          *sync.Cond // signaled on release, eviction, budget change, close
-	entries       map[string]*entry
-	lru           *list.List // of *entry; front = most recently used
-	cacheBytes    int64      // summed MemSize of cached cores
-	spawned       int        // live instances server-wide: idle + in-flight
-	instBytes     int64      // summed MemSize pinned by live instances
-	budgetWaiters int        // acquirers parked on the instance-budget wait
-	closed        bool
+	// store owns everything compiled: the core LRU, the warm-instance
+	// pools and their budget, and (when StoreDir is set) the durable
+	// snapshots behind warm restart.
+	store *corestore.Store
 
 	// Admission control (see admission.go): per-endpoint gates. The
 	// latency signal behind deadline-aware shedding and Retry-After hints
@@ -288,10 +284,6 @@ type Server struct {
 	inflight map[*inflightReq]struct{}
 
 	queries        atomic.Int64
-	hits           atomic.Int64
-	misses         atomic.Int64
-	compiles       atomic.Int64
-	evictions      atomic.Int64
 	timeouts       atomic.Int64
 	failures       atomic.Int64
 	sweeps         atomic.Int64
@@ -303,42 +295,11 @@ type Server struct {
 	panics         atomic.Int64 // handler panics recovered by the HTTP middleware
 }
 
-// entry is one cached graph: its immutable compiled core plus the warm
-// instance pools attached to it, one per engine.
-type entry struct {
-	key      string
-	elem     *list.Element
-	g        *graph.Graph
-	compiled *network.Compiled
-	pools    map[poolKey]*instPool
-	evicted  bool
-	hits     int64     // lookups served by this entry (guarded by Server.mu)
-	created  time.Time // when the entry was compiled into the cache
-}
-
-// poolKey names one warm-instance pool of an entry: engine AND engine
-// width. Width is part of the identity because an instance's BSP pool is
-// sized at spawn — queries run at the server's NetworkWorkers width while
-// a sweep's scheduler may budget a wider instance (sweep.TrialPoint
-// .Workers), and handing one the other's instance would silently run at
-// the wrong parallelism.
-type poolKey struct {
-	engine  network.Engine
-	workers int
-}
-
-// instPool holds the idle warm workers of one (graph, engine). All
-// bookkeeping is guarded by Server.mu; blocked acquirers wait on
-// Server.cond, not on the pool itself, because a server-wide budget means a
-// release anywhere can unblock a waiter everywhere.
-type instPool struct {
-	idle []*worker
-}
-
-// worker is a warm instance plus everything reused across the queries it
-// serves: the cached Program values (so consecutive same-parameter queries
-// hit the ReusableNode fast path) and the completion channel of the
-// run-with-deadline handoff.
+// worker is everything the server reuses across the queries one warm
+// instance serves: the cached Program values (so consecutive
+// same-parameter queries hit the ReusableNode fast path) and the
+// completion channel of the run-with-deadline handoff. It rides along with
+// the instance between checkouts as the corestore handle's Scratch.
 type worker struct {
 	inst   *network.Instance
 	tester *core.Tester
@@ -360,17 +321,23 @@ type queryOutcome struct {
 	err  error
 }
 
-// NewServer returns a Server with the given options.
+// NewServer returns a Server with the given options. When Options.StoreDir
+// holds a snapshot from a previous process, the compiled-core store is
+// warm-started from it before the first request: the previous working set
+// serves as cache hits with zero compiles.
 func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
-		entries:  make(map[string]*entry),
-		lru:      list.New(),
 		ridSalt:  uint64(time.Now().UnixNano()),
 		inflight: make(map[*inflightReq]struct{}),
 	}
-	s.cond = sync.NewCond(&s.mu)
 	s.met = newServeMetrics(s)
+	s.store = corestore.New(s.storeOptions())
+	if opts.StoreDir != "" {
+		if n := s.store.WarmStart(opts.StoreDir); n > 0 {
+			s.logf("serve: warm start: %d compiled cores loaded from %s", n, opts.StoreDir)
+		}
+	}
 	s.queryGate = newGate(s, "query", opts.maxConcurrentQueries(), opts.maxQueueDepth(), s.met.queueWaitQuery)
 	s.sweepGate = newGate(s, "sweep", opts.maxConcurrentSweeps(), opts.maxQueueDepth(), s.met.queueWaitSweep)
 	return s
@@ -384,6 +351,10 @@ func (s *Server) Metrics() interface {
 	return s.met.reg
 }
 
+// Store exposes the server's compiled-core store — for operators that want
+// to trigger a snapshot (Store.Persist) or read store stats directly.
+func (s *Server) Store() *corestore.Store { return s.store }
+
 // logf routes diagnostic logging through Options.Logf when set.
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -393,268 +364,54 @@ func (s *Server) logf(format string, args ...any) {
 	log.Printf(format, args...)
 }
 
-// Close evicts every cached graph and closes all idle instances. In-flight
-// queries finish; their instances are closed on release. Further queries
-// fail.
+// Close releases the compiled-core store: the persist loop stops, a final
+// snapshot is taken when StoreDir is set, and every cached graph and idle
+// instance is released. In-flight queries finish; their instances are
+// closed on release. Further queries fail.
 func (s *Server) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	for _, e := range s.entries {
-		s.evictLocked(e)
-	}
-	s.entries = map[string]*entry{}
-	s.lru.Init()
-	s.cond.Broadcast()
+	s.store.Close()
 }
 
-// evictLocked marks e evicted, closes its idle instances (returning their
-// budget), and wakes blocked acquirers so queries waiting on the dead entry
-// retry against the live cache instead of sleeping out their deadline.
-// Callers hold s.mu.
-func (s *Server) evictLocked(e *entry) {
-	e.evicted = true
-	s.cacheBytes -= e.compiled.MemSize()
-	for _, p := range e.pools {
-		for _, w := range p.idle {
-			s.spawned--
-			s.instBytes -= e.compiled.MemSize()
-			w.inst.Close()
-		}
-		p.idle = nil
-	}
-	s.cond.Broadcast()
-}
-
-// lookup returns the cache entry for key, compiling (via build) on a miss,
-// and counts the hit/miss (server-wide and per entry). The graph build and
-// compile run outside the lock, so a slow generator stalls only the queries
-// that need it; a concurrent duplicate build loses the insert race and is
-// dropped.
-func (s *Server) lookup(key string, build func() (*graph.Graph, error)) (*entry, bool, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, false, fmt.Errorf("serve: server closed")
-	}
-	if e, ok := s.entries[key]; ok {
-		s.lru.MoveToFront(e.elem)
-		e.hits++
-		s.mu.Unlock()
-		s.hits.Add(1)
-		return e, true, nil
-	}
-	s.mu.Unlock()
-
-	g, err := build()
+// checkout acquires a warm instance handle from the store, translating the
+// store's saturation error into the server's overload vocabulary — the
+// shed counter, the per-reason metric, and an *ErrOverloaded carrying a
+// Retry-After hint.
+func (s *Server) checkout(ctx context.Context, key string, build func() (*graph.Graph, error),
+	engine network.Engine, workers int) (*corestore.Handle, bool, error) {
+	h, hit, err := s.store.Checkout(ctx, key, build, engine, workers)
 	if err != nil {
-		return nil, false, err
-	}
-	compiled, err := network.Compile(g, network.CompileOptions{BandwidthBits: s.opts.BandwidthBits})
-	if err != nil {
-		return nil, false, err
-	}
-	s.compiles.Add(1)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, false, fmt.Errorf("serve: server closed")
-	}
-	if e, ok := s.entries[key]; ok { // lost the build race: reuse the winner
-		s.lru.MoveToFront(e.elem)
-		e.hits++
-		s.hits.Add(1)
-		return e, true, nil
-	}
-	e := &entry{
-		key: key, g: g, compiled: compiled,
-		pools: map[poolKey]*instPool{}, created: time.Now(),
-	}
-	e.elem = s.lru.PushFront(e)
-	s.entries[key] = e
-	s.cacheBytes += compiled.MemSize()
-	s.misses.Add(1)
-	// Byte-weighted eviction first (the production bound), entry count as
-	// the secondary guard; the most recently used entry always survives, so
-	// a single over-budget graph still serves.
-	for s.lru.Len() > 1 &&
-		(s.cacheBytes > s.opts.maxCacheBytes() || s.lru.Len() > s.opts.maxGraphs()) {
-		victim := s.lru.Back().Value.(*entry)
-		s.lru.Remove(victim.elem)
-		delete(s.entries, victim.key)
-		s.evictLocked(victim)
-		s.evictions.Add(1)
-	}
-	return e, false, nil
-}
-
-// errEvicted reports that an entry was LRU-evicted between lookup and a
-// successful instance checkout; the caller re-looks-up and retries against
-// the live cache.
-var errEvicted = errors.New("serve: cache entry evicted")
-
-// acquire checks a warm worker out of e's pool for (engine, width pk),
-// spawning one when the server-wide instance budget allows, reclaiming an
-// idle instance from the coldest graph when it does not, or waiting
-// (bounded by ctx AND by the admission queue bound — a full wait queue
-// sheds instead of parking) for an in-flight run to release one. The
-// budget is two-dimensional: an instance count (MaxInstances) and the
-// bytes live instances pin (MaxInstanceBytes, weighted by the compiled
-// core's MemSize), so mixed graph sizes are bounded tightly. It returns
-// errEvicted when e was evicted before or while waiting — the entry is
-// dead, so waiting on it would only burn the caller's deadline.
-// Successful checkouts observe the acquire-latency histogram.
-func (s *Server) acquire(ctx context.Context, e *entry, pk poolKey) (*worker, error) {
-	start := time.Now()
-	w, err := s.acquireInner(ctx, e, pk)
-	if err == nil {
-		s.met.acquire.ObserveSince(start)
-	}
-	return w, err
-}
-
-func (s *Server) acquireInner(ctx context.Context, e *entry, pk poolKey) (*worker, error) {
-	need := e.compiled.MemSize()
-	maxBytes := s.opts.maxInstanceBytes()
-	s.mu.Lock()
-	for {
-		if s.closed {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("serve: server closed")
-		}
-		if e.evicted {
-			s.mu.Unlock()
-			return nil, errEvicted
-		}
-		p, ok := e.pools[pk]
-		if !ok {
-			p = &instPool{}
-			e.pools[pk] = p
-		}
-		if n := len(p.idle); n > 0 {
-			w := p.idle[n-1]
-			p.idle = p.idle[:n-1]
-			s.mu.Unlock()
-			return w, nil
-		}
-		// The first instance always spawns whatever its size (an
-		// over-byte-budget giant must still serve); after that both the
-		// count and the byte budget must cover it.
-		if s.spawned < s.opts.maxInstances() &&
-			(s.spawned == 0 || s.instBytes+need <= maxBytes) {
-			s.spawned++
-			s.instBytes += need
-			s.mu.Unlock()
-			inst, err := e.compiled.NewInstance(network.InstanceOptions{
-				Engine:    pk.engine,
-				Workers:   pk.workers,
-				Faults:    s.opts.Faults,
-				Collector: s.met,
-			})
-			if err != nil {
-				s.mu.Lock()
-				s.spawned--
-				s.instBytes -= need
-				s.cond.Broadcast()
-				s.mu.Unlock()
-				return nil, err
-			}
-			return &worker{inst: inst, done: make(chan queryOutcome, 1)}, nil
-		}
-		// Budget exhausted. Degrade gracefully: reclaim an idle instance
-		// from the coldest pool (its warmth is worth less than this
-		// query's latency), freeing budget for the spawn branch above.
-		if s.reclaimIdleLocked() {
-			continue
-		}
-		// Every instance is in flight. Shed when the wait queue is already
-		// at its bound — admission control's promise is a fast 429, never
-		// an unbounded pile of parked goroutines — else wait for a
-		// release, bounded by ctx.
-		if s.budgetWaiters >= s.opts.maxQueueDepth() {
-			s.mu.Unlock()
-			return nil, s.shedded("instances", fmt.Sprintf(
+		// The errors.As target lives inside the guard: boxing &sat would
+		// otherwise cost the happy path a heap allocation per query.
+		var sat *corestore.ErrSaturated
+		if errors.As(err, &sat) {
+			return nil, false, s.shedded("instances", fmt.Sprintf(
 				"instance budget (%d) saturated and its wait queue (%d) full",
-				s.opts.maxInstances(), s.opts.maxQueueDepth()))
-		}
-		s.budgetWaiters++
-		s.enterQueue()
-		waitStart := time.Now()
-		err := s.waitLocked(ctx)
-		s.budgetWaiters--
-		s.leaveQueue()
-		// Histogram observes are atomic; doing one under s.mu is fine.
-		s.met.queueWaitInst.ObserveSince(waitStart)
-		if err != nil {
-			s.mu.Unlock()
-			return nil, err
+				sat.Instances, sat.QueueDepth))
 		}
 	}
+	return h, hit, err
 }
 
-// reclaimIdleLocked closes one idle instance from the least recently used
-// entry that has one and returns whether budget was freed. The pool the
-// caller is acquiring for is empty (that is why it got here), so the scan
-// can only ever reclaim a DIFFERENT pool's warmth — possibly the same
-// graph's other engine. Callers hold s.mu.
-func (s *Server) reclaimIdleLocked() bool {
-	for el := s.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		for _, p := range e.pools {
-			if n := len(p.idle); n > 0 {
-				w := p.idle[n-1]
-				p.idle = p.idle[:n-1]
-				s.spawned--
-				s.instBytes -= e.compiled.MemSize()
-				w.inst.Close()
-				return true
-			}
-		}
+// release returns a handle to the store, first dropping the dead request's
+// context and program so an idle worker doesn't pin the finished HTTP
+// request chain while parked. The tester/detector values stay on the
+// worker: they are the ReusableNode fast path for the next query.
+func (s *Server) release(h *corestore.Handle) {
+	if w, ok := h.Scratch.(*worker); ok {
+		w.ctx, w.prog = nil, nil
 	}
-	return false
+	s.store.Release(h)
 }
 
-// waitLocked blocks on the server condition until something changes —
-// a release, an eviction, a close — or ctx is done. Callers hold s.mu; the
-// lock is held again when waitLocked returns. The context watcher takes
-// s.mu before broadcasting, so it cannot fire between the caller's checks
-// and the wait (no missed wakeups).
-func (s *Server) waitLocked(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
+// workerFor returns the handle's resident worker, attaching one on the
+// instance's first checkout.
+func workerFor(h *corestore.Handle) *worker {
+	if w, ok := h.Scratch.(*worker); ok {
+		return w
 	}
-	stop := context.AfterFunc(ctx, func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	defer stop()
-	s.cond.Wait()
-	return ctx.Err()
-}
-
-// release returns w to e's pool — or closes it when the entry was evicted
-// (or the server closed) while the query ran — and wakes blocked acquirers:
-// under a server-wide budget, a release anywhere may unblock a waiter on
-// any entry.
-func (s *Server) release(e *entry, pk poolKey, w *worker) {
-	// The run is over (both call sites receive from w.done first); drop the
-	// dead request's context and program so an idle worker doesn't pin the
-	// finished HTTP request chain while parked. The tester/detector values
-	// stay: they are the ReusableNode fast path for the next query.
-	w.ctx, w.prog = nil, nil
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e.evicted || s.closed {
-		s.spawned--
-		s.instBytes -= e.compiled.MemSize()
-		w.inst.Close()
-	} else {
-		p := e.pools[pk]
-		p.idle = append(p.idle, w)
-	}
-	s.cond.Broadcast()
+	w := &worker{inst: h.Inst, done: make(chan queryOutcome, 1)}
+	h.Scratch = w
+	return w
 }
 
 // Query answers one tester/detector query, reusing the cached compiled
@@ -703,39 +460,19 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	defer s.queryGate.release()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	// Lookup and checkout retry when the entry is LRU-evicted in between
-	// (or while waiting for a free instance — eviction wakes waiters): the
-	// next lookup re-compiles into a live entry. The loop is bounded by
-	// ctx, which every acquire wait observes.
-	pk := poolKey{engine: engine, workers: s.opts.networkWorkers()}
-	var (
-		e   *entry
-		hit bool
-		w   *worker
-	)
+	// The store retries evicted entries internally and bounds the
+	// instance-budget wait by ctx; a full wait queue surfaces here as a
+	// shed (see checkout).
 	fl.setStage(stageAcquire)
-	for {
-		e, hit, err = s.lookup(key, build)
-		if err != nil {
-			s.failures.Add(1)
-			return nil, err
+	h, hit, err := s.checkout(ctx, key, build, engine, s.opts.networkWorkers())
+	if err != nil {
+		var ov *ErrOverloaded
+		if !errors.As(err, &ov) { // shedded already counted the shed
+			s.countQueryErr(ctx, err)
 		}
-		w, err = s.acquire(ctx, e, pk)
-		if err == nil {
-			break
-		}
-		if errors.Is(err, errEvicted) {
-			if ctx.Err() == nil {
-				continue
-			}
-			// The entry died AND the deadline expired: the deadline is
-			// what the client (504) and the operator's timeout counter
-			// must see, not the internal eviction marker.
-			err = ctx.Err()
-		}
-		s.countQueryErr(ctx, err)
 		return nil, err
 	}
+	w := workerFor(h)
 	w.arm(req)
 	w.ctx = ctx
 	w.seed = req.Seed
@@ -749,7 +486,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	go w.run()
 	select {
 	case out := <-w.done:
-		s.release(e, pk, w)
+		s.release(h)
 		if out.err != nil {
 			var ce *network.ErrCanceled
 			if errors.As(out.err, &ce) {
@@ -778,7 +515,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		s.countQueryErr(ctx, ctx.Err())
 		go func() {
 			<-w.done // the cancelled run parks within one round
-			s.release(e, pk, w)
+			s.release(h)
 		}()
 		verb := "canceled"
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -861,17 +598,23 @@ func (w *worker) run() {
 type EntryStats struct {
 	// Key is the cache key (family spec or canonical fingerprint).
 	Key string `json:"key"`
+	// Fingerprint is the graph's canonical fingerprint — the snapshot
+	// manifest key of this entry when the store is durable.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// N and M are the graph's dimensions.
 	N int `json:"n"`
 	M int `json:"m"`
 	// Bytes is the compiled core's size (Compiled.MemSize).
 	Bytes int64 `json:"bytes"`
-	// Hits counts lookups served by this entry since it was compiled.
+	// Hits counts lookups served by this entry since it entered the cache.
 	Hits int64 `json:"hits"`
-	// AgeSeconds is the time since the entry was compiled into the cache.
+	// AgeSeconds is the time since the entry entered the cache.
 	AgeSeconds float64 `json:"age_seconds"`
 	// InstancesIdle is the entry's parked warm instances, all engines.
 	InstancesIdle int `json:"instances_idle"`
+	// Warm marks entries loaded from a snapshot rather than compiled by
+	// this process — a warm restart shows the previous working set here.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -897,6 +640,14 @@ type Stats struct {
 	// instance budget: bytes pinned by live instances vs the configured cap.
 	InstanceBytes    int64 `json:"instance_bytes"`
 	MaxInstanceBytes int64 `json:"max_instance_bytes"`
+	// Durability counters (zero unless StoreDir is set): Persists counts
+	// snapshot passes that wrote a manifest, WarmLoads counts cores loaded
+	// from disk at startup, LoadFailures counts snapshot files rejected as
+	// corrupt/mismatched, DiskBytes is the snapshot's current on-disk size.
+	Persists     int64 `json:"persists,omitempty"`
+	WarmLoads    int64 `json:"warm_loads,omitempty"`
+	LoadFailures int64 `json:"load_failures,omitempty"`
+	DiskBytes    int64 `json:"disk_bytes,omitempty"`
 	// Resilience counters (see admission.go): Shed counts requests rejected
 	// with 429, QueueDepth/QueueHighWater track parked requests across all
 	// wait queues, Retries counts transient sweep-trial failures absorbed by
@@ -923,15 +674,25 @@ type Stats struct {
 
 // Stats returns a snapshot of the cache and traffic counters.
 func (s *Server) Stats() Stats {
+	cs := s.store.Stats()
 	st := Stats{
-		MaxCacheBytes:    s.opts.maxCacheBytes(),
-		InstanceBudget:   s.opts.maxInstances(),
-		MaxInstanceBytes: s.opts.maxInstanceBytes(),
+		GraphsCached:     cs.GraphsCached,
+		CacheBytes:       cs.CacheBytes,
+		MaxCacheBytes:    cs.MaxCacheBytes,
+		InstanceBudget:   cs.InstanceBudget,
+		InstancesIdle:    cs.InstancesIdle,
+		InstancesLive:    cs.InstancesLive,
+		InstanceBytes:    cs.InstanceBytes,
+		MaxInstanceBytes: cs.MaxInstanceBytes,
+		Hits:             cs.Hits,
+		Misses:           cs.Misses,
+		Compiles:         cs.Compiles,
+		Evictions:        cs.Evictions,
+		Persists:         cs.Persists,
+		WarmLoads:        cs.WarmLoads,
+		LoadFailures:     cs.LoadFailures,
+		DiskBytes:        cs.DiskBytes,
 		Queries:          s.queries.Load(),
-		Hits:             s.hits.Load(),
-		Misses:           s.misses.Load(),
-		Compiles:         s.compiles.Load(),
-		Evictions:        s.evictions.Load(),
 		Timeouts:         s.timeouts.Load(),
 		Failures:         s.failures.Load(),
 		Sweeps:           s.sweeps.Load(),
@@ -948,78 +709,48 @@ func (s *Server) Stats() Stats {
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)
 	}
-	now := time.Now()
-	st.InFlightRequests = s.inflightSnapshot(now)
-	s.mu.Lock()
-	st.GraphsCached = len(s.entries)
-	st.CacheBytes = s.cacheBytes
-	st.InstancesLive = s.spawned
-	st.InstanceBytes = s.instBytes
-	for el := s.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		es := EntryStats{
-			Key:        e.key,
-			N:          e.g.N(),
-			M:          e.g.M(),
-			Bytes:      e.compiled.MemSize(),
-			Hits:       e.hits,
-			AgeSeconds: now.Sub(e.created).Seconds(),
-		}
-		for _, p := range e.pools {
-			es.InstancesIdle += len(p.idle)
-		}
-		st.InstancesIdle += es.InstancesIdle
-		st.Entries = append(st.Entries, es)
+	for _, e := range cs.Entries {
+		st.Entries = append(st.Entries, EntryStats{
+			Key:           e.Key,
+			Fingerprint:   e.Fingerprint,
+			N:             e.N,
+			M:             e.M,
+			Bytes:         e.Bytes,
+			Hits:          e.Hits,
+			AgeSeconds:    e.AgeSeconds,
+			InstancesIdle: e.InstancesIdle,
+			Warm:          e.Warm,
+		})
 	}
-	s.mu.Unlock()
+	st.InFlightRequests = s.inflightSnapshot(time.Now())
 	return st
 }
 
-// coreProvider adapts the Server's cache to sweep.CoreProvider: sweep
-// trials check instances out of the same LRU of compiled cores and warm
-// pools the query traffic uses, under the same server-wide instance
-// budget. A sweep over a graph /query already cached performs zero
-// compiles — and leaves the graph hot for subsequent queries.
+// coreProvider adapts the server's store to sweep trials, translating the
+// store's saturation error into the server's overload vocabulary (shed
+// counters + *ErrOverloaded with a Retry-After hint) so sweep workers back
+// off exactly like shed queries do. The store itself implements
+// sweep.CoreProvider; this wrapper exists only for that translation.
 type coreProvider struct{ s *Server }
 
-// Acquire implements sweep.CoreProvider. It mirrors Query's
-// lookup-acquire-retry loop, including the eviction retry. The scheduler's
-// budgeted engine width (pt.Workers) is honored, clamped to the hardware:
-// this is the scheduler/budget handshake that lets /sweep trials run wider
-// than the server's per-query NetworkWorkers (historically every trial ran
-// at width 1) while the server-wide instance budget still bounds how many
-// such instances exist at once. Width is part of the pool key, so sweep
-// checkouts never poach a query-width warm instance or vice versa.
+// Acquire implements sweep.CoreProvider over the shared store: a sweep
+// over a graph /query already cached performs zero compiles — and leaves
+// the graph hot for subsequent queries. The scheduler's budgeted engine
+// width (pt.Workers) is honored by the store, clamped to the hardware;
+// width is part of the pool key, so sweep checkouts never poach a
+// query-width warm instance or vice versa.
 func (p coreProvider) Acquire(ctx context.Context, pt sweep.TrialPoint) (*network.Instance, func(), error) {
-	key := familyKey(pt.Graph, pt.K, pt.Eps, pt.Seed)
-	build := func() (*graph.Graph, error) {
-		return sweep.BuildGraph(pt.Graph, pt.K, pt.Eps, pt.Seed)
-	}
-	width := pt.Workers
-	if width <= 0 {
-		width = p.s.opts.networkWorkers()
-	}
-	if max := runtime.GOMAXPROCS(0); width > max {
-		width = max
-	}
-	pk := poolKey{engine: pt.Engine, workers: width}
-	for {
-		e, _, err := p.s.lookup(key, build)
-		if err != nil {
-			return nil, nil, err
+	inst, release, err := p.s.store.Acquire(ctx, pt)
+	if err != nil {
+		// Guarded like Server.checkout: boxing &sat costs an allocation.
+		var sat *corestore.ErrSaturated
+		if errors.As(err, &sat) {
+			return nil, nil, p.s.shedded("instances", fmt.Sprintf(
+				"instance budget (%d) saturated and its wait queue (%d) full",
+				sat.Instances, sat.QueueDepth))
 		}
-		w, err := p.s.acquire(ctx, e, pk)
-		if err == nil {
-			return w.inst, func() { p.s.release(e, pk, w) }, nil
-		}
-		if errors.Is(err, errEvicted) {
-			if ctx.Err() == nil {
-				continue
-			}
-			err = ctx.Err() // report the cancellation, not the internal marker
-		}
-		return nil, nil, err
 	}
+	return inst, release, err
 }
 
 // RunSweep validates and executes a declarative sweep spec, streaming rows

@@ -2,8 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"cycledetect/internal/graph"
 	"cycledetect/internal/network"
@@ -132,7 +130,7 @@ func (req *QueryRequest) resolve() (key string, build func() (*graph.Graph, erro
 			return "", nil, "", fmt.Errorf("serve: graph %s(n=%d) needs n >= 2", gr.Family, gr.N)
 		}
 		gs := sweep.GraphSpec{Family: gr.Family, N: gr.N, M: gr.M}
-		key = familyKey(gs, req.K, req.Eps, gr.Seed)
+		key = sweep.FamilyKey(gs, req.K, req.Eps, gr.Seed)
 		k, eps, seed := req.K, req.Eps, gr.Seed
 		build = func() (*graph.Graph, error) { return sweep.BuildGraph(gs, k, eps, seed) }
 	case len(gr.Edges) > 0:
@@ -146,27 +144,6 @@ func (req *QueryRequest) resolve() (key string, build func() (*graph.Graph, erro
 		return "", nil, "", fmt.Errorf("serve: graph needs a family or an edge list")
 	}
 	return key, build, engine, nil
-}
-
-// familyKey is the cache key of a generated graph. Only the "far" family
-// depends on (k, eps) — mirroring sweep's graph keying — so tester queries
-// with different parameters share the same cached gnm/tree/cycle/complete
-// graph.
-func familyKey(gs sweep.GraphSpec, k int, eps float64, seed uint64) string {
-	var b strings.Builder
-	b.WriteString(gs.Family)
-	b.WriteString("/n=")
-	b.WriteString(strconv.Itoa(gs.N))
-	if gs.M > 0 {
-		b.WriteString("/m=")
-		b.WriteString(strconv.Itoa(gs.M))
-	}
-	b.WriteString("/seed=")
-	b.WriteString(strconv.FormatUint(seed, 10))
-	if gs.Family == "far" {
-		fmt.Fprintf(&b, "/k=%d/eps=%g", k, eps)
-	}
-	return b.String()
 }
 
 // buildExplicit constructs a graph from an explicit edge list.

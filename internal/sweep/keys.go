@@ -1,0 +1,30 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FamilyKey is the canonical cache key of a generated graph — the shared
+// vocabulary between every layer that caches compiled cores over
+// BuildGraph's families (corestore's LRU, serve's /query resolution, the
+// snapshot manifest's key field). Only the "far" family depends on
+// (k, eps) — mirroring the scheduler's graph keying — so tester runs with
+// different parameters share the same cached gnm/tree/cycle/complete graph.
+func FamilyKey(gs GraphSpec, k int, eps float64, seed uint64) string {
+	var b strings.Builder
+	b.WriteString(gs.Family)
+	b.WriteString("/n=")
+	b.WriteString(strconv.Itoa(gs.N))
+	if gs.M > 0 {
+		b.WriteString("/m=")
+		b.WriteString(strconv.Itoa(gs.M))
+	}
+	b.WriteString("/seed=")
+	b.WriteString(strconv.FormatUint(seed, 10))
+	if gs.Family == "far" {
+		fmt.Fprintf(&b, "/k=%d/eps=%g", k, eps)
+	}
+	return b.String()
+}
