@@ -34,6 +34,12 @@ func BenchmarkRepresentatives(b *testing.B) {
 			var s RepScratch
 			s.Prealloc(q, count)
 			var dst []int
+			// One warm-up call so first-use growth (dst, any scratch
+			// beyond Prealloc) lands outside the timer: the reported
+			// allocs/op is then a deterministic 0 instead of a setup
+			// residue divided by b.N — which flips between 0 and 2 with
+			// the iteration count and trips the allocs gate as noise.
+			dst = AppendRepresentatives(dst[:0], lists, q, &s)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -90,6 +90,12 @@ type checkState struct {
 	views   [][]ID   // arena-backed views handed to the pruner
 	keptIdx []int
 	rep     combin.RepScratch
+
+	// witBuf backs the witness detect returns, reused across runs of a
+	// reusable node so steady-state rejects allocate nothing here. The
+	// returned slice is valid until this node's next detection; consumers
+	// that outlive the run must copy (core.Summarize does).
+	witBuf []ID
 }
 
 // prealloc sizes the reusable buffers for a node of the given degree so that
@@ -329,8 +335,10 @@ func (cs *checkState) seq(ref seqRef) []ID {
 // detect runs the final check of Algorithm 1 (lines 31–42) after the last
 // Phase-2 round. It returns whether a k-cycle through the candidate edge was
 // found and, if so, the cycle as an ordered list of k node IDs starting at
-// one endpoint of the candidate edge. The witness is freshly allocated (it
-// outlives the arenas); everything else runs on scratch.
+// one endpoint of the candidate edge. The witness is assembled into the
+// state's reusable buffer (witBuf) — valid until the next detection on this
+// node, so callers that outlive the run must copy it; everything else runs
+// on scratch.
 //
 // Implementation of line 35 (even k): the paper's Lemma 2 requires pairing a
 // sequence L1 ∈ S (length k/2, containing myid) with a sequence L2 of length
@@ -408,23 +416,33 @@ func (cs *checkState) validPairEven(l1 []ID, sig1 uint64, r2 seqRef) bool {
 // this node, and the heads are the candidate edge, so consecutive witness
 // entries are adjacent in the graph.
 func (cs *checkState) assembleWitness(l1, l2 []ID) []ID {
-	w := make([]ID, 0, cs.k)
-	w = append(w, l1...)
+	w := append(cs.witSlot(len(l1)+len(l2)+1), l1...)
 	w = append(w, cs.myid)
 	for i := len(l2) - 1; i >= 0; i-- {
 		w = append(w, l2[i])
 	}
+	cs.witBuf = w
 	return w
 }
 
 // assembleWitnessEven builds the even-k cycle: l1 already ends with myid.
 func (cs *checkState) assembleWitnessEven(l1, l2 []ID) []ID {
-	w := make([]ID, 0, cs.k)
-	w = append(w, l1...)
+	w := append(cs.witSlot(len(l1)+len(l2)), l1...)
 	for i := len(l2) - 1; i >= 0; i-- {
 		w = append(w, l2[i])
 	}
+	cs.witBuf = w
 	return w
+}
+
+// witSlot returns the empty witness buffer with room for n IDs: one
+// exact-capacity allocation on a node's first detection (fresh runs pay
+// what the pre-arena code paid), none on reuse.
+func (cs *checkState) witSlot(n int) []ID {
+	if cap(cs.witBuf) < n {
+		cs.witBuf = make([]ID, 0, n)
+	}
+	return cs.witBuf[:0]
 }
 
 func containsID(seq []ID, id ID) bool {

@@ -225,8 +225,12 @@ func (n *testerNode) Receive(round int, in [][]byte) {
 		}
 		n.consider(local, &v)
 	}
-	if local == n.prog.K/2 && n.active {
-		if reject, wit := n.cs.detect(); reject && !n.rejected {
+	// Once rejected, the verdict is final (the tester is 1-sided): later
+	// repetitions skip the quadratic pair scan AND the witness assembly,
+	// which also keeps the reusable witness buffer (checkState.witBuf)
+	// pinned to the first detection for the rest of the run.
+	if local == n.prog.K/2 && n.active && !n.rejected {
+		if reject, wit := n.cs.detect(); reject {
 			n.rejected = true
 			n.witness = wit
 		}

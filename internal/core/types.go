@@ -111,6 +111,13 @@ func Summarize(outputs []any, ids []ID) Decision {
 		d.Switches += verdict.Metrics.Switches
 	}
 	sortIDs(d.RejectingIDs)
+	// The winning node's Witness aliases its reusable per-node buffer,
+	// which the next run on the same (pooled) instance overwrites; the
+	// Decision must stand on its own — serving code marshals it after
+	// releasing the instance — so detach the one that won.
+	if d.Witness != nil {
+		d.Witness = append([]ID(nil), d.Witness...)
+	}
 	return d
 }
 

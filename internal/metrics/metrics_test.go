@@ -38,6 +38,12 @@ func goldenRegistry() *Registry {
 	hw.Max(96)
 	hw.Max(64) // must not lower the mark
 
+	bw := r.Gauge("test_batch_width", "Widest batched pass seen, lanes.",
+		L("engine", "bsp"))
+	bw.Max(1)
+	bw.Max(16)
+	bw.Max(4) // narrower later passes must not lower the mark
+
 	esc := r.Gauge("test_escaping", "Help with a \\ backslash\nand a newline.",
 		L("path", "a\\b"), L("quote", `say "hi"`), L("nl", "line1\nline2"))
 	esc.Set(1)

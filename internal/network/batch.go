@@ -1,0 +1,449 @@
+package network
+
+// Batched multi-trial execution: RunBatch runs R independent repetitions
+// (lanes) of the same program inside ONE engine pass. The paper's tester is
+// a repeated-trials protocol — a sweep point runs `trials` repetitions of
+// the same randomized program — and the per-round synchronization cost
+// (the BSP pool barrier, the channels push/pull handshakes) is the floor a
+// sequential trial loop pays R times over. A batch advances all R lanes at
+// every barrier instead: R per-node coin streams, R payload lanes per
+// directed edge, R node-state slabs addressed lane-major, one barrier per
+// round for all of them.
+//
+// Lanes are fully isolated — per-lane nodes, RNG streams, payload tables,
+// stats slabs, failure state, and fault decisions — so each lane's verdict,
+// stats, error, and witness are byte-identical to what a sequential
+// RunProgramCtx with the same seed would produce (locked by
+// TestRunBatchMatchesSequential, both engines). A decided lane (failed or
+// injected-cancelled) goes quiescent: it skips program calls and traffic
+// accounting but, on the channels engine, keeps pushing nil payloads so the
+// per-edge protocol — and every other lane's bandwidth slot accounting —
+// stays honest. A real context cancellation aborts the WHOLE batch through
+// the same machinery as single runs (the BSP top-of-round poll; the
+// channels packed stop-round agreement), reporting every undecided lane
+// canceled.
+//
+// The batch state is allocated once per Instance (BatchWidth > 1 on
+// InstanceOptions) and reused across RunBatch calls, so batched steady
+// state on a reused Instance is 0 allocs/op like single runs (locked by
+// TestRunBatchAllocFree).
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"cycledetect/internal/xrand"
+)
+
+// LaneResult is one lane's outcome of a RunBatch call: exactly one of Res
+// (success) or Err (the same error a sequential run with that lane's seed
+// would return) is set. Res — like RunProgram's Result — is owned by the
+// Instance and overwritten by the next RunBatch call; callers that keep it
+// must copy.
+type LaneResult struct {
+	Res *Result
+	Err error
+}
+
+// batchState is the per-Instance lane-major slab behind RunBatch. Per-node
+// per-lane state is indexed l*n+v; per-worker stats are indexed
+// l*slab+w (slab = workers on BSP, n on channels).
+type batchState struct {
+	width int // configured lane capacity (InstanceOptions.BatchWidth)
+	r     int // lanes active in the current RunBatch call (len(seeds))
+
+	rngs    []xrand.RNG
+	nodes   []Node
+	errs    []nodeErr
+	failed  []bool
+	out, in [][][]byte // [l*n+v][port]
+
+	lastProg Program
+	reusable bool
+	nodesFor int // lanes 0..nodesFor-1 hold lastProg's nodes
+
+	// Lazy lane arming (see armLanes): prepareBatch decides, per batch,
+	// which lanes may Reset cached nodes (reuseLanes) and which must
+	// rebuild, and parks the seeds; the engines arm lanes when they are
+	// about to run them — per window on BSP — so the arming pass itself
+	// warms the slab the round loop is about to walk.
+	seeds      []uint64
+	prog       Program // pinned for arming: lastProg is cleared by mid-batch aborts
+	reuseLanes int
+
+	rounds    int
+	res       []Result
+	lanes     []LaneResult
+	perWorker []Stats
+
+	done   []bool // lane decided; quiescent for the rest of the batch
+	live   int    // undecided lanes remaining
+	hadErr bool
+
+	// Per-lane fault injection (armed from the instance's FaultPlan with
+	// each lane's own seed). cancelAt[l] is the round an injected per-lane
+	// cancellation fires at (0 = none): unlike single runs there is no
+	// per-lane context to cancel, so the lane aborts deterministically at
+	// that round with the same ErrCanceled a sequential BSP run reports.
+	fault    []FaultDecision
+	faultOn  []bool
+	cancelAt []int
+
+	hasErr    []bool         // BSP: per (lane, worker) failure flag
+	abortRank []atomic.Int64 // channels: per-lane lowest failure rank
+
+	round  int // BSP current round, read by the phase closures
+	l0, l1 int // BSP lane window bounds, read by the phase closures (see runBatchBSP)
+
+	sendPhase, deliverPhase, recvPhase func(w, lo, hi int)
+	outputPhase                        func(w, lo, hi int)
+
+	// Channels fabric, one capacity-1 channel set and double-buffer pair
+	// per (lane, directed edge) — each lane runs the exact single-run
+	// protocol over its own channels, so the two-slot parity reuse
+	// argument holds per lane unchanged.
+	ch       [][]chan []byte // [l*n+v][port]
+	edgeBufs [][][2][]byte   // [l*n+v][port][parity]
+	liveLane [][]bool        // [v][l]: the round's live snapshot per node
+}
+
+// BatchWidth returns the instance's configured lane capacity (1 when the
+// instance was built without batching).
+func (nw *Instance) BatchWidth() int {
+	if nw.batch == nil {
+		return 1
+	}
+	return nw.batch.width
+}
+
+// buildBatch allocates the reusable lane slabs. Called once from
+// NewInstance when opts.BatchWidth > 1; the engines' single-run state is
+// untouched, so RunProgram on a batch-capable instance behaves exactly as
+// on a plain one.
+func (nw *Instance) buildBatch() {
+	g, n := nw.c.g, nw.c.g.N()
+	w := nw.iopts.BatchWidth
+	b := &batchState{width: w, rounds: -1}
+	nw.batch = b
+	b.rngs = make([]xrand.RNG, w*n)
+	b.errs = make([]nodeErr, w*n)
+	b.failed = make([]bool, w*n)
+	b.out = make([][][]byte, w*n)
+	b.in = make([][][]byte, w*n)
+	outFlat := make([][]byte, 2*w*g.M())
+	inFlat := make([][]byte, 2*w*g.M())
+	off := 0
+	for l := 0; l < w; l++ {
+		for v := 0; v < n; v++ {
+			deg := g.Degree(v)
+			b.out[l*n+v] = outFlat[off : off+deg : off+deg]
+			b.in[l*n+v] = inFlat[off : off+deg : off+deg]
+			off += deg
+		}
+	}
+	b.res = make([]Result, w)
+	outsFlat := make([]any, w*n)
+	for l := range b.res {
+		b.res[l].IDs = nw.c.topo.IDs()
+		b.res[l].Outputs = outsFlat[l*n : (l+1)*n : (l+1)*n]
+	}
+	b.lanes = make([]LaneResult, w)
+	b.done = make([]bool, w)
+	b.fault = make([]FaultDecision, w)
+	b.faultOn = make([]bool, w)
+	b.cancelAt = make([]int, w)
+	b.abortRank = make([]atomic.Int64, w)
+	if nw.Engine() == EngineChannels {
+		nw.buildBatchChannels()
+	} else {
+		b.hasErr = make([]bool, w*nw.workers)
+		nw.buildBatchBSP()
+	}
+}
+
+// RunBatch executes p once per seed — R = len(seeds) independent lanes —
+// in a single engine pass and returns one LaneResult per seed, in seed
+// order. Lane i is byte-identical (result, stats, error, outputs) to
+// RunProgramCtx(ctx, p, seeds[i]) on the same engine. R must be between 1
+// and the instance's BatchWidth; the returned slice is owned by the
+// Instance and overwritten by the next call.
+//
+// The error return reports invocation misuse only (no seeds, more seeds
+// than lanes); per-lane run errors — failures, cancellations — are in the
+// LaneResults. A context cancellation aborts the whole batch within one
+// round: every lane not yet decided reports *ErrCanceled.
+func (nw *Instance) RunBatch(ctx context.Context, p Program, seeds []uint64) ([]LaneResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("network: RunBatch needs at least one seed")
+	}
+	if len(seeds) > nw.BatchWidth() {
+		return nil, fmt.Errorf("network: RunBatch of %d lanes exceeds BatchWidth %d", len(seeds), nw.BatchWidth())
+	}
+	if nw.batch == nil {
+		// A width-1 instance still serves single-lane batches — the sweep
+		// scheduler and benches call RunBatch uniformly — by delegating to
+		// the ordinary run path.
+		if nw.laneOne == nil {
+			nw.laneOne = make([]LaneResult, 1)
+		}
+		res, err := nw.RunProgramCtx(ctx, p, seeds[0])
+		nw.laneOne[0] = LaneResult{Res: res, Err: err}
+		return nw.laneOne, nil
+	}
+	b := nw.batch
+	if ctx.Err() != nil {
+		// Nothing ran: the instance is untouched and stays warm.
+		for l := range seeds {
+			b.lanes[l] = LaneResult{Err: &ErrCanceled{Round: 0, Cause: context.Cause(ctx)}}
+		}
+		return b.lanes[:len(seeds)], nil
+	}
+	rounds := nw.prepareBatch(p, seeds)
+	nw.armBatchFaults(seeds, rounds)
+	if nw.Engine() == EngineChannels {
+		nw.runBatchChannels(ctx, rounds)
+	} else {
+		nw.runBatchBSP(ctx, rounds)
+	}
+	if c := nw.iopts.Collector; c != nil {
+		for l := range seeds {
+			nw.recordRunWidth(c, b.lanes[l].Res, b.lanes[l].Err, b.faultOn[l], len(seeds))
+		}
+	}
+	return b.lanes[:len(seeds)], nil
+}
+
+// prepareBatch re-arms the lane slabs for one RunBatch call, mirroring
+// prepare lane by lane: stats sized to the round count (reallocated only
+// when it changes), per-lane coin streams reseeded in place, nodes reset or
+// rebuilt, failure state cleared only after a dirty batch.
+func (nw *Instance) prepareBatch(p Program, seeds []uint64) int {
+	b := nw.batch
+	n := nw.c.g.N()
+	r := len(seeds)
+	b.r = r
+	rounds := p.Rounds(n, nw.c.g.M())
+	slab := nw.workers
+	if nw.Engine() == EngineChannels {
+		slab = n
+	}
+	if rounds != b.rounds {
+		b.rounds = rounds
+		b.perWorker = NewStatsSlab(b.width*slab, rounds)
+		for l := range b.res {
+			b.res[l].Stats = NewStats(rounds)
+		}
+	} else {
+		for l := 0; l < r; l++ {
+			b.res[l].Stats.Reset()
+		}
+		for i := 0; i < r*slab; i++ {
+			b.perWorker[i].Reset()
+		}
+	}
+	if b.hadErr {
+		b.hadErr = false
+		for i := range b.errs {
+			b.errs[i] = nodeErr{}
+			b.failed[i] = false
+		}
+		for i := range b.hasErr {
+			b.hasErr[i] = false
+		}
+	}
+	for l := 0; l < r; l++ {
+		b.done[l] = false
+		b.lanes[l] = LaneResult{}
+		b.abortRank[l].Store(noAbort)
+	}
+	b.live = r
+
+	if b.nodes == nil {
+		b.nodes = make([]Node, b.width*n)
+	}
+	b.seeds = seeds
+	b.prog = p
+	b.reuseLanes = 0
+	if sameProgram(p, b.lastProg) && b.reusable {
+		b.reuseLanes = b.nodesFor
+		if b.reuseLanes > r {
+			b.reuseLanes = r
+		}
+	} else {
+		b.reusable = true
+	}
+	if r > b.nodesFor || !sameProgram(p, b.lastProg) {
+		b.nodesFor = r
+	}
+	b.lastProg = p
+	return rounds
+}
+
+// armLanes reseeds the coin streams and resets (or rebuilds) the nodes of
+// lanes [l0, l1), completing what prepareBatch set up. Deferred to the
+// moment an engine is about to run those lanes — per window on BSP — so
+// the arming pass doubles as the warm-up sweep of the slab the round loop
+// walks next, instead of streaming every lane's state through the cache
+// before lane 0 runs. A lane left unarmed by a mid-batch abort is safe:
+// the abort dirtied the batch (finishLane cleared lastProg), so the next
+// prepareBatch rebuilds every lane from scratch.
+func (nw *Instance) armLanes(l0, l1 int) {
+	b := nw.batch
+	n := nw.c.g.N()
+	ids := nw.c.topo.IDs()
+	for l := l0; l < l1; l++ {
+		base := l * n
+		for v := 0; v < n; v++ {
+			b.rngs[base+v].SeedStream(b.seeds[l], uint64(ids[v]))
+		}
+		if l < b.reuseLanes {
+			for v := 0; v < n; v++ {
+				b.nodes[base+v].(ReusableNode).Reset(nw.c.topo.Info(v, &b.rngs[base+v]))
+			}
+			continue
+		}
+		for v := 0; v < n; v++ {
+			b.nodes[base+v] = b.prog.NewNode(nw.c.topo.Info(v, &b.rngs[base+v]))
+			if _, ok := b.nodes[base+v].(ReusableNode); !ok {
+				b.reusable = false
+			}
+		}
+	}
+}
+
+// armBatchFaults consults the instance's FaultPlan once per lane with that
+// lane's seed — the same pure decision a sequential run of the seed makes —
+// and arms the per-lane hooks. An injected cancellation has no per-lane
+// context to cancel, so it is recorded as a deterministic per-lane abort
+// round (cancelAt) instead.
+func (nw *Instance) armBatchFaults(seeds []uint64, rounds int) {
+	b := nw.batch
+	for l := range seeds {
+		b.faultOn[l] = false
+		b.cancelAt[l] = 0
+	}
+	plan := nw.iopts.Faults
+	if plan == nil || plan.Decide == nil || rounds < 1 {
+		return
+	}
+	n := nw.c.g.N()
+	for l, seed := range seeds {
+		d, ok := plan.Decide(seed, n, rounds)
+		if !ok {
+			continue
+		}
+		if d.Round < 1 {
+			d.Round = 1
+		}
+		if d.Round > rounds {
+			d.Round = rounds
+		}
+		if d.Node < 0 || d.Node >= n {
+			d.Node = ((d.Node % n) + n) % n
+		}
+		b.fault[l] = d
+		b.faultOn[l] = true
+		plan.injected.Add(1)
+		if d.Kind == FaultCancel {
+			b.cancelAt[l] = d.Round
+		}
+	}
+}
+
+// finishLane decides lane l. An errored lane dirties the batch state the
+// way runFailed/runCanceled dirty a single run: the next prepareBatch
+// clears failure slabs and rebuilds every lane's nodes (an aborted lane
+// leaves its nodes mid-state).
+func (nw *Instance) finishLane(l int, res *Result, err error) {
+	b := nw.batch
+	if b.done[l] {
+		return
+	}
+	b.done[l] = true
+	b.live--
+	b.lanes[l] = LaneResult{Res: res, Err: err}
+	if err != nil {
+		b.hadErr = true
+		b.lastProg = nil
+	}
+}
+
+// finishLaneSuccess merges lane l's per-worker stats and publishes its
+// Result.
+//
+//ckvet:allocfree
+func (nw *Instance) finishLaneSuccess(l, slab int) {
+	b := nw.batch
+	for i := 0; i < slab; i++ {
+		b.res[l].Stats.Merge(&b.perWorker[l*slab+i])
+	}
+	b.res[l].Stats.Finalize()
+	nw.finishLane(l, &b.res[l], nil)
+}
+
+// laneFailed selects lane l's deterministic run error — lowest failure
+// rank, then lowest vertex — exactly like runFailed over a single run's
+// errs.
+func (nw *Instance) laneFailed(l int) error {
+	b := nw.batch
+	n := nw.c.g.N()
+	base := l * n
+	best := -1
+	for v := 0; v < n; v++ {
+		if b.errs[base+v].err == nil {
+			continue
+		}
+		if best < 0 || b.errs[base+v].rank < b.errs[base+best].rank {
+			best = v
+		}
+	}
+	return b.errs[base+best].err
+}
+
+// cancelBatch aborts every undecided lane: the whole batch shares one
+// context, so a real cancellation cancels all in-flight lanes at the same
+// round — the batched analog of runCanceled.
+func (nw *Instance) cancelBatch(round int, cause error) {
+	nw.cancelLanes(0, nw.batch.r, round, cause)
+}
+
+// cancelLanes aborts the undecided lanes in [l0, l1) at the given round.
+// The BSP window scheduler cancels its in-flight window at the observed
+// round and any never-started windows at round 0; the channels engine
+// cancels the whole batch at the agreed stop round.
+//
+//ckvet:allocs aborted-batch teardown, once per cancelled batch
+func (nw *Instance) cancelLanes(l0, l1, round int, cause error) {
+	b := nw.batch
+	for l := l0; l < l1; l++ {
+		if b.done[l] {
+			continue
+		}
+		nw.finishLane(l, nil, &ErrCanceled{Round: round, Cause: cause})
+	}
+}
+
+// liveIn counts the undecided lanes in [l0, l1): the BSP window
+// scheduler's early-exit check, window-scoped where b.live is batch-wide.
+//
+//ckvet:allocfree
+func (b *batchState) liveIn(l0, l1 int) int {
+	live := 0
+	for l := l0; l < l1; l++ {
+		if !b.done[l] {
+			live++
+		}
+	}
+	return live
+}
+
+// laneInjectedCancel builds the deterministic per-lane ErrCanceled an
+// injected FaultCancel yields: identical to what the sequential BSP run of
+// the same seed reports (cancel observed at the fault round's barrier,
+// Round = fault round - 1, cause unwrapping to context.Canceled).
+//
+//ckvet:allocs fault-injection path, never on a production run
+func laneInjectedCancel(cancelAt int) error {
+	return &ErrCanceled{Round: cancelAt - 1, Cause: &ErrInjected{Kind: FaultCancel, Err: context.Canceled}}
+}

@@ -1,0 +1,322 @@
+package network
+
+// Batched BSP engine: one pool barrier per phase advances every lane of
+// the current window (the whole batch under a worker pool, one lane at a
+// time without one — see runBatchBSP). Worker w still writes only its own
+// shard's state — per lane — and the barrier structure (and therefore the
+// abort ordering, the failure ranks, and the deterministic error
+// selection) is exactly the single-run loop's, applied lane-wise.
+
+import "context"
+
+// buildBatchBSP allocates the batched phase closures once; the per-batch
+// loop only writes b.round and b.r between barriers.
+func (nw *Instance) buildBatchBSP() {
+	b := nw.batch
+	g, n := nw.c.g, nw.c.g.N()
+
+	// Lanes iterate OUTSIDE vertices in every phase: a lane's node states
+	// and arenas are allocated together, so the inner vertex loop streams
+	// one lane's memory sequentially instead of striding across all lane
+	// slabs at every vertex — the difference between prefetch-friendly
+	// sweeps and cache-hostile interleaving once r × per-lane state
+	// outgrows the LLC. The lane bounds are the scheduler's current window
+	// (the whole batch under a worker pool; see runBatchBSP).
+	//ckvet:allocfree
+	b.sendPhase = func(w, lo, hi int) {
+		for l := b.l0; l < b.l1; l++ {
+			if b.done[l] {
+				continue
+			}
+			base := l * n
+			for v := lo; v < hi; v++ {
+				i := base + v
+				clearPayloads(b.out[i])
+				if b.failed[i] {
+					continue
+				}
+				nw.batchSendNode(w, l, v)
+				if b.failed[i] {
+					// A mid-Send panic leaves out partially filled; the
+					// lane's node goes silent this round, like on the
+					// channels engine.
+					clearPayloads(b.out[i])
+				}
+			}
+		}
+	}
+	// Delivery iterates by receiver so each worker writes only its own
+	// shard's in-tables; senders' out-tables are read-only during the phase.
+	//ckvet:allocfree
+	b.deliverPhase = func(w, lo, hi int) {
+		budget := nw.c.opts.BandwidthBits
+		for l := b.l0; l < b.l1; l++ {
+			if b.done[l] {
+				continue
+			}
+			base := l * n
+			st := &b.perWorker[l*nw.workers+w]
+			for v := lo; v < hi; v++ {
+				ns := g.Neighbors(v)
+				rp := nw.c.topo.RevPorts(v)
+				i := base + v
+				// An injected bandwidth violation is recorded before the
+				// real delivery scan, at the same receiver-side rank a real
+				// oversized payload would earn (see the single-run phase).
+				if b.faultOn[l] && b.fault[l].Kind == FaultBandwidth &&
+					b.round == b.fault[l].Round && v == b.fault[l].Node && b.errs[i].err == nil {
+					b.errs[i] = nodeErr{rank: sendRank(b.round), err: nw.injectedBandwidthErr(v, b.round)}
+					b.hasErr[l*nw.workers+w] = true
+				}
+				for pt := range b.in[i] {
+					u := int(ns[pt])
+					payload := b.out[base+u][rp[pt]]
+					b.in[i][pt] = payload
+					if payload == nil {
+						continue
+					}
+					bits := 8 * len(payload)
+					st.Observe(b.round, bits)
+					if budget > 0 && bits > budget && b.errs[i].err == nil {
+						ids := nw.c.topo.IDs()
+						b.errs[i] = nodeErr{rank: sendRank(b.round), err: &ErrBandwidth{ //ckvet:ignore budget-violation abort path, the lane is over
+							Round: b.round, From: ids[u], To: ids[v],
+							Bits: bits, BudgetBit: budget,
+						}}
+						b.hasErr[l*nw.workers+w] = true
+					}
+				}
+			}
+		}
+	}
+	//ckvet:allocfree
+	b.recvPhase = func(w, lo, hi int) {
+		for l := b.l0; l < b.l1; l++ {
+			if b.done[l] {
+				continue
+			}
+			base := l * n
+			for v := lo; v < hi; v++ {
+				i := base + v
+				if !b.failed[i] {
+					nw.batchRecvNode(w, l, v)
+				}
+				clearPayloads(b.in[i])
+			}
+		}
+	}
+	//ckvet:allocfree
+	b.outputPhase = func(w, lo, hi int) {
+		for l := b.l0; l < b.l1; l++ {
+			if b.done[l] {
+				continue
+			}
+			base := l * n
+			for v := lo; v < hi; v++ {
+				if !b.failed[base+v] {
+					nw.batchOutputNode(w, l, v)
+				}
+			}
+		}
+	}
+}
+
+// batchSendNode/batchRecvNode/batchOutputNode isolate one (lane, node)
+// program call, mirroring sendNode/recvNode/outputNode per lane.
+//
+//ckvet:allocfree
+func (nw *Instance) batchSendNode(w, l, v int) {
+	defer nw.catchBatchNode(w, l, v, "Send")
+	b := nw.batch
+	if b.faultOn[l] && b.fault[l].Kind == FaultPanic &&
+		b.round == b.fault[l].Round && v == b.fault[l].Node {
+		panic(injectedPanic{})
+	}
+	i := l*nw.c.g.N() + v
+	b.nodes[i].Send(b.round, b.out[i])
+}
+
+//ckvet:allocfree
+func (nw *Instance) batchRecvNode(w, l, v int) {
+	defer nw.catchBatchNode(w, l, v, "Receive")
+	b := nw.batch
+	i := l*nw.c.g.N() + v
+	b.nodes[i].Receive(b.round, b.in[i])
+}
+
+//ckvet:allocfree
+func (nw *Instance) batchOutputNode(w, l, v int) {
+	defer nw.catchBatchNode(w, l, v, "Output")
+	b := nw.batch
+	b.res[l].Outputs[v] = b.nodes[l*nw.c.g.N()+v].Output()
+}
+
+// catchBatchNode is the deferred recovery hook of the batched BSP per-node
+// calls: the (lane, node) goes silent and its first failure is recorded at
+// the same rank the single-run catch would assign.
+//
+//ckvet:allocs recovery path, runs only when a node panicked
+func (nw *Instance) catchBatchNode(w, l, v int, what string) {
+	if p := recover(); p != nil {
+		b := nw.batch
+		i := l*nw.c.g.N() + v
+		b.failed[i] = true
+		b.hasErr[l*nw.workers+w] = true
+		if b.errs[i].err == nil {
+			round, rank := failureRank(what, b.round, b.rounds)
+			b.errs[i] = nodeErr{rank: rank, err: panicError(nw.c.topo.ids[v], what, round, p)}
+		}
+	}
+}
+
+// anyBatchErr reports whether any active lane of the current window
+// recorded a failure; scanned once per round barrier.
+//
+//ckvet:allocfree
+func (nw *Instance) anyBatchErr() bool {
+	b := nw.batch
+	for _, e := range b.hasErr[b.l0*nw.workers : b.l1*nw.workers] {
+		if e {
+			return true
+		}
+	}
+	return false
+}
+
+// finishFailedBatchLanes finalizes every live window lane whose error
+// flags are set, then clears those flags so an already-decided lane never
+// re-trips the per-round failure scan.
+func (nw *Instance) finishFailedBatchLanes() {
+	b := nw.batch
+	for l := b.l0; l < b.l1; l++ {
+		if b.done[l] {
+			continue
+		}
+		errored := false
+		for w := 0; w < nw.workers; w++ {
+			if b.hasErr[l*nw.workers+w] {
+				errored = true
+				b.hasErr[l*nw.workers+w] = false
+			}
+		}
+		if errored {
+			nw.finishLane(l, nil, nw.laneFailed(l))
+		}
+	}
+}
+
+// runBatchBSP schedules the batch over lane windows sized to the worker
+// layout. With a worker pool the window is the whole batch: one barrier
+// per phase advances every lane, which is the point of batching — the
+// pool's per-phase synchronization is paid once per round instead of once
+// per lane per round. Without a pool (workers == 1) there is no barrier
+// to amortize, and interleaving lanes only thrashes the cache (r
+// lane-state slabs streamed through it every round instead of one), so
+// the lanes run one at a time: each window walks one lane's contiguous
+// slab through the full round loop, keeping the sequential path's
+// locality while preserving RunBatch's contract — one arming pass, one
+// Collector pass, whole-batch cancellation.
+//
+//ckvet:allocfree
+func (nw *Instance) runBatchBSP(ctx context.Context, rounds int) {
+	b := nw.batch
+	win := b.r
+	if nw.pool == nil {
+		win = 1
+	}
+	for l0 := 0; l0 < b.r; l0 += win {
+		l1 := l0 + win
+		if l1 > b.r {
+			l1 = b.r
+		}
+		nw.armLanes(l0, l1)
+		if !nw.runBatchWindowBSP(ctx, rounds, l0, l1) {
+			// The batch's context died inside this window; lanes of
+			// windows that never started report round 0, like the unrun
+			// tail of a sequential trial loop.
+			nw.cancelLanes(l1, b.r, 0, context.Cause(ctx))
+			return
+		}
+	}
+}
+
+// runBatchWindowBSP is the batched round loop over lanes [l0, l1): the
+// single-run loop's barrier sequence — poll, send, deliver, failure check
+// (cancellation re-checked first), receive — with per-lane quiescing
+// instead of a whole-run abort. A decided lane skips every subsequent
+// phase; the window ends early when all its lanes are decided. Returns
+// false when the shared context was cancelled (the window's own lanes are
+// already aborted; the caller aborts the rest of the batch).
+//
+//ckvet:allocfree
+func (nw *Instance) runBatchWindowBSP(ctx context.Context, rounds, l0, l1 int) bool {
+	b := nw.batch
+	n := nw.c.g.N()
+	b.l0, b.l1 = l0, l1
+	done := ctx.Done()                         // nil for a never-cancellable context: polls vanish
+	runPhase := func(fn func(w, lo, hi int)) { //ckvet:ignore non-escaping, stack-allocated; locked by TestRunBatchAllocFree
+		if nw.pool == nil {
+			fn(0, 0, n)
+			return
+		}
+		nw.pool.Run(fn)
+	}
+	for b.round = 1; b.round <= rounds; b.round++ {
+		// A lane's injected cancellation fires at its chosen round's
+		// barrier, before the real poll, exactly where the sequential BSP
+		// run of that seed observes its derived context.
+		for l := l0; l < l1; l++ {
+			if !b.done[l] && b.cancelAt[l] != 0 && b.round >= b.cancelAt[l] {
+				nw.finishLane(l, nil, laneInjectedCancel(b.cancelAt[l]))
+			}
+		}
+		if pollDone(done) {
+			nw.cancelLanes(l0, l1, b.round-1, context.Cause(ctx))
+			return false
+		}
+		if b.liveIn(l0, l1) == 0 {
+			return true
+		}
+		runPhase(b.sendPhase)
+		runPhase(b.deliverPhase)
+		// One failure check per round, per lane. Cancellation is re-checked
+		// first so a batch that both failed and was cancelled reports
+		// ErrCanceled on every lane, like a single run would.
+		if nw.anyBatchErr() {
+			if pollDone(done) {
+				nw.cancelLanes(l0, l1, b.round-1, context.Cause(ctx))
+				return false
+			}
+			nw.finishFailedBatchLanes()
+			if b.liveIn(l0, l1) == 0 {
+				return true
+			}
+		}
+		runPhase(b.recvPhase)
+	}
+	b.round = rounds
+	if nw.anyBatchErr() { // Receive panics in the final round
+		if pollDone(done) {
+			nw.cancelLanes(l0, l1, rounds, context.Cause(ctx))
+			return false
+		}
+		nw.finishFailedBatchLanes()
+	}
+	if pollDone(done) { // a cancelled window computes no outputs
+		nw.cancelLanes(l0, l1, rounds, context.Cause(ctx))
+		return false
+	}
+	if b.liveIn(l0, l1) == 0 {
+		return true
+	}
+	runPhase(b.outputPhase)
+	if nw.anyBatchErr() { // Output panics (cancellation already checked above)
+		nw.finishFailedBatchLanes()
+	}
+	for l := l0; l < l1; l++ {
+		if !b.done[l] {
+			nw.finishLaneSuccess(l, nw.workers)
+		}
+	}
+	return true
+}

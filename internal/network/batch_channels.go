@@ -1,0 +1,245 @@
+package network
+
+// Batched channels engine: each lane owns its own capacity-1 channel set
+// and per-edge double buffers, so every lane runs the exact single-run
+// protocol — the same push/pull order, the same parity-alternated buffer
+// reuse, the same safety argument — and the node goroutine simply advances
+// all R lanes per round, in lane order, sharing one set of per-node
+// goroutine wakeups and one stop-round agreement word for the whole batch.
+//
+// Per-lane quiescing mirrors the single-run abortRank mechanism lane-wise:
+// a silenced lane keeps pushing nil payloads (the protocol — and the other
+// lanes' bandwidth slot accounting — stays honest) but skips program calls
+// and traffic accounting. A real context cancellation stops the WHOLE
+// batch at an agreed round through the unchanged chCommit/chCancelRun
+// machinery.
+
+import "context"
+
+// buildBatchChannels allocates the per-lane channel fabric and the
+// per-node live-lane scratch.
+func (nw *Instance) buildBatchChannels() {
+	b := nw.batch
+	g, n := nw.c.g, nw.c.g.N()
+	w := b.width
+	b.ch = make([][]chan []byte, w*n)
+	b.edgeBufs = make([][][2][]byte, w*n)
+	for l := 0; l < w; l++ {
+		for v := 0; v < n; v++ {
+			deg := g.Degree(v)
+			i := l*n + v
+			b.ch[i] = make([]chan []byte, deg)
+			for pt := range b.ch[i] {
+				b.ch[i][pt] = make(chan []byte, 1)
+			}
+			b.edgeBufs[i] = make([][2][]byte, deg)
+		}
+	}
+	b.liveLane = make([][]bool, n)
+	laneFlat := make([]bool, w*n)
+	for v := 0; v < n; v++ {
+		b.liveLane[v] = laneFlat[v*w : (v+1)*w : (v+1)*w]
+	}
+}
+
+// runBatchChannels wakes the parked node goroutines in batch mode, waits
+// for the run, and finalizes every lane: whole-batch stop round first
+// (cancellation wins, as in single runs), then per-lane injected cancels,
+// failures, and successes.
+//
+//ckvet:allocfree
+func (nw *Instance) runBatchChannels(ctx context.Context, rounds int) {
+	b := nw.batch
+	n := nw.c.g.N()
+	nw.armLanes(0, b.r) // every goroutine touches every lane: no window to defer to
+	nw.chRounds = rounds
+	nw.ctxDone = ctx.Done()
+	nw.chCancel.Store(chNoStop << 32)
+	nw.batchActive = true
+	nw.chWG.Add(n)
+	for _, c := range nw.chStart {
+		c <- struct{}{}
+	}
+	nw.chWG.Wait()
+	nw.batchActive = false
+	// Drop the done channel now that every node has parked: an idle
+	// Instance must not keep the finished request's context reachable.
+	nw.ctxDone = nil
+
+	if stop := nw.chCancel.Load() >> 32; stop != chNoStop {
+		nw.cancelBatch(int(stop), context.Cause(ctx))
+		return
+	}
+	for l := 0; l < b.r; l++ {
+		switch {
+		case b.cancelAt[l] != 0:
+			// Injected cancellation wins over a same-lane failure, matching
+			// the single-run channels engine where the stop-round check
+			// precedes the failure check.
+			nw.finishLane(l, nil, laneInjectedCancel(b.cancelAt[l]))
+		case b.abortRank[l].Load() != noAbort:
+			nw.finishLane(l, nil, nw.laneFailed(l))
+		default:
+			nw.finishLaneSuccess(l, n)
+		}
+	}
+}
+
+// recordLaneFailure stores the (lane, node)'s first failure and drags that
+// lane's abortRank down, the per-lane analog of chanNode.recordFailure:
+// rounds at or below the lane's abort rank are never silenced, so every
+// failure that could win the deterministic selection is recorded on any
+// schedule.
+func (cn *chanNode) recordLaneFailure(l, i, rank int, err error) {
+	b := cn.nw.batch
+	if b.errs[i].err == nil {
+		b.errs[i] = nodeErr{rank: rank, err: err}
+	}
+	for {
+		cur := b.abortRank[l].Load()
+		if int64(rank) >= cur || b.abortRank[l].CompareAndSwap(cur, int64(rank)) {
+			return
+		}
+	}
+}
+
+// batchSend/batchReceive/batchOutput isolate one (lane, node) program
+// call; catchBatch is their recovery hook.
+//
+//ckvet:allocfree
+func (cn *chanNode) batchSend(l, i int, out [][]byte) {
+	defer cn.catchBatch(l, i, "Send")
+	b := cn.nw.batch
+	if b.faultOn[l] && b.fault[l].Kind == FaultPanic &&
+		cn.round == b.fault[l].Round && cn.v == b.fault[l].Node {
+		panic(injectedPanic{})
+	}
+	b.nodes[i].Send(cn.round, out)
+}
+
+//ckvet:allocfree
+func (cn *chanNode) batchReceive(l, i int, in [][]byte) {
+	defer cn.catchBatch(l, i, "Receive")
+	cn.nw.batch.nodes[i].Receive(cn.round, in)
+}
+
+//ckvet:allocfree
+func (cn *chanNode) batchOutput(l, i int) {
+	defer cn.catchBatch(l, i, "Output")
+	b := cn.nw.batch
+	b.res[l].Outputs[cn.v] = b.nodes[i].Output()
+}
+
+//ckvet:allocs recovery path, runs only when a node panicked
+func (cn *chanNode) catchBatch(l, i int, what string) {
+	if p := recover(); p != nil {
+		b := cn.nw.batch
+		b.failed[i] = true
+		round, rank := failureRank(what, cn.round, cn.nw.chRounds)
+		cn.recordLaneFailure(l, i, rank, panicError(cn.nw.c.topo.ids[cn.v], what, round, p))
+	}
+}
+
+// runBatch is one node's batched run: the single-run round body applied to
+// each lane in lane order. The live snapshot per (lane, round) is taken
+// once before the send half and reused in the receive half, exactly like
+// the single-run loop's `live` local.
+//
+//ckvet:allocfree
+func (cn *chanNode) runBatch() {
+	nw := cn.nw
+	b := nw.batch
+	v := cn.v
+	n := nw.c.g.N()
+	ns := nw.c.g.Neighbors(v)
+	rp := nw.c.topo.revPort[v]
+	deg := len(ns)
+	budget := nw.c.opts.BandwidthBits
+	ids := nw.c.topo.ids
+	rounds := nw.chRounds
+	ctxDone := nw.ctxDone
+	r0 := b.r
+	live := b.liveLane[v]
+	for r := 1; r <= rounds; r++ {
+		if ctxDone != nil { // the run context can cancel: poll every round
+			if pollDone(ctxDone) {
+				nw.chCancelRun()
+			}
+			if (r-1)%StopRoundStride == 0 && !nw.chCommit(r) {
+				break // past the agreed stop round; park
+			}
+		}
+		cn.round = r
+		for l := 0; l < r0; l++ {
+			i := l*n + v
+			out := b.out[i]
+			// A lane is live for the round unless its node failed, the
+			// lane's abort rank silences the round, or the lane's injected
+			// cancellation has fired; quiescent lanes still push nils.
+			live[l] = !b.failed[i] && int64(sendRank(r)) <= b.abortRank[l].Load() &&
+				(b.cancelAt[l] == 0 || r < b.cancelAt[l])
+			clearPayloads(out)
+			if live[l] {
+				cn.batchSend(l, i, out)
+				if b.failed[i] {
+					clearPayloads(out)
+				}
+			}
+			for pt := 0; pt < deg; pt++ {
+				payload := out[pt]
+				if payload != nil {
+					// Detach from the program's buffer: copy into this
+					// lane-edge's slot for the round's parity.
+					slot := &b.edgeBufs[i][pt][r&1]
+					*slot = append((*slot)[:0], payload...)
+					payload = *slot
+				}
+				b.ch[l*n+int(ns[pt])][rp[pt]] <- payload
+			}
+			if b.faultOn[l] && b.fault[l].Kind == FaultBandwidth && r == b.fault[l].Round && v == b.fault[l].Node {
+				cn.recordLaneFailure(l, i, sendRank(r), nw.injectedBandwidthErr(v, r))
+			}
+		}
+		for l := 0; l < r0; l++ {
+			i := l*n + v
+			in := b.in[i]
+			st := &b.perWorker[i]
+			for pt := 0; pt < deg; pt++ {
+				payload := <-b.ch[i][pt]
+				in[pt] = payload
+				if payload == nil || !live[l] {
+					continue
+				}
+				// Accounting and budget enforcement at the receiver, as in
+				// the single-run loop, so both engines attribute a
+				// violation to the same (round, receiver) per lane.
+				bits := 8 * len(payload)
+				st.Observe(r, bits)
+				if budget > 0 && bits > budget {
+					if b.errs[i].err == nil {
+						cn.recordLaneFailure(l, i, sendRank(r), &ErrBandwidth{ //ckvet:ignore budget-violation abort path, the lane is over
+							Round: r, From: ids[int(ns[pt])], To: ids[v],
+							Bits: bits, BudgetBit: budget,
+						})
+					}
+					in[pt] = nil
+				}
+			}
+			if !b.failed[i] && live[l] {
+				cn.batchReceive(l, i, in)
+			}
+		}
+	}
+	cn.round = rounds
+	// Output per lane, gated exactly like the single-run engine: skipped
+	// after a lane round-phase failure, an injected lane cancellation, or a
+	// whole-batch stop.
+	for l := 0; l < r0; l++ {
+		i := l*n + v
+		if !b.failed[i] && b.cancelAt[l] == 0 &&
+			b.abortRank[l].Load() > int64(recvRank(rounds)) &&
+			nw.chCancel.Load()>>32 == chNoStop {
+			cn.batchOutput(l, i)
+		}
+	}
+}

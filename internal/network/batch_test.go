@@ -1,0 +1,291 @@
+// Batched-execution tests: every lane of a RunBatch call must be
+// byte-identical — result, stats, outputs, error — to a sequential
+// RunProgramCtx with that lane's seed on the same engine, including lanes
+// with injected faults; a real cancellation must abort the whole batch; a
+// warm batch must run allocation-free. These are the batched analogs of
+// the contracts equiv_test.go, fault_test.go, and cancel_test.go pin for
+// single runs.
+package network_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cycledetect/internal/congest"
+	"cycledetect/internal/core"
+	"cycledetect/internal/graph"
+	"cycledetect/internal/network"
+	"cycledetect/internal/xrand"
+)
+
+// batchPair builds a sequential instance and a batch-capable instance over
+// one shared Compiled, so the comparison isolates the batched loops.
+func batchPair(t *testing.T, g *graph.Graph, engine network.Engine, width int, opts func(*network.InstanceOptions)) (seq, bat *network.Instance) {
+	t.Helper()
+	c, err := network.Compile(g, network.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := network.InstanceOptions{Engine: engine}
+	bo := network.InstanceOptions{Engine: engine, BatchWidth: width}
+	if opts != nil {
+		opts(&so)
+		opts(&bo)
+	}
+	if seq, err = c.NewInstance(so); err != nil {
+		t.Fatal(err)
+	}
+	if bat, err = c.NewInstance(bo); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seq.Close(); bat.Close() })
+	return seq, bat
+}
+
+// assertLanesMatchSequential runs seeds through the batch instance in
+// chunks of at most width lanes and demands every lane equal the
+// sequential run of its seed — including per-lane errors, compared by
+// deep equality so messages, rounds, and wrapped causes must all agree.
+func assertLanesMatchSequential(t *testing.T, seq, bat *network.Instance, prog, seqProg congest.Program, seeds []uint64, width int) {
+	t.Helper()
+	for lo := 0; lo < len(seeds); lo += width {
+		hi := lo + width
+		if hi > len(seeds) {
+			hi = len(seeds) // remainder chunk: fewer lanes than the width
+		}
+		chunk := seeds[lo:hi]
+		lanes, err := bat.RunBatch(context.Background(), prog, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lanes) != len(chunk) {
+			t.Fatalf("RunBatch returned %d lanes for %d seeds", len(lanes), len(chunk))
+		}
+		for l, seed := range chunk {
+			want, wantErr := seq.RunProgramCtx(context.Background(), seqProg, seed)
+			if !reflect.DeepEqual(wantErr, lanes[l].Err) {
+				t.Fatalf("seed %d: lane error %v, sequential %v", seed, lanes[l].Err, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			assertResultsEqual(t, seed, want, lanes[l].Res)
+		}
+	}
+}
+
+// TestRunBatchMatchesSequential is the tentpole contract: across graphs,
+// engines, batch widths, and an uneven trailing chunk, batched lanes are
+// byte-identical to sequential runs — on a reused instance, late in its
+// life, with the node-cache path engaged.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, engine := range engines {
+			t.Run(name+"/"+string(engine), func(t *testing.T) {
+				const width = 4
+				seq, bat := batchPair(t, g, engine, width, nil)
+				prog := &core.Tester{K: 5, Reps: 2}
+				seqProg := &core.Tester{K: 5, Reps: 2}
+				// 10 seeds in chunks of 4: two full chunks plus a 2-lane
+				// remainder, all on one reused instance.
+				seeds := make([]uint64, 10)
+				for i := range seeds {
+					seeds[i] = uint64(i)
+				}
+				assertLanesMatchSequential(t, seq, bat, prog, seqProg, seeds, width)
+				// Program switch on the live batch instance (cache
+				// invalidation), even k for the sent-arena detect path.
+				prog6 := &core.Tester{K: 6, Reps: 2}
+				seqProg6 := &core.Tester{K: 6, Reps: 2}
+				assertLanesMatchSequential(t, seq, bat, prog6, seqProg6, []uint64{11, 12, 13}, width)
+			})
+		}
+	}
+}
+
+// TestRunBatchLaneFaults injects per-lane faults — a panic and a bandwidth
+// violation on chosen lanes — and demands those lanes report exactly the
+// sequential errors while their batchmates stay byte-identical to clean
+// sequential runs. An injected per-lane cancellation is pinned exactly on
+// the BSP engine (the sequential abort round is deterministic there) and
+// structurally on channels.
+func TestRunBatchLaneFaults(t *testing.T) {
+	rng := xrand.New(21)
+	g := graph.ConnectedGNM(32, 96, rng)
+	cases := []struct {
+		name string
+		kind network.FaultKind
+	}{
+		{"panic", network.FaultPanic},
+		{"bandwidth", network.FaultBandwidth},
+		{"cancel", network.FaultCancel},
+	}
+	for _, engine := range engines {
+		for _, tc := range cases {
+			t.Run(string(engine)+"/"+tc.name, func(t *testing.T) {
+				const width = 4
+				const faultSeed = 2 // lane 2 of the batch
+				plan := seedPlan(tc.kind, 3, 5, faultSeed)
+				seq, bat := batchPair(t, g, engine, width, func(o *network.InstanceOptions) {
+					o.Faults = plan
+				})
+				prog := &core.Tester{K: 5, Reps: 2}
+				seqProg := &core.Tester{K: 5, Reps: 2}
+				seeds := []uint64{0, 1, faultSeed, 3}
+				lanes, err := bat.RunBatch(context.Background(), prog, seeds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for l, seed := range seeds {
+					want, wantErr := seq.RunProgramCtx(context.Background(), seqProg, seed)
+					if seed == faultSeed && tc.kind == network.FaultCancel && engine == network.EngineChannels {
+						// The sequential channels abort round depends on the
+						// stop-round schedule; pin the shape, not the round.
+						var ce *network.ErrCanceled
+						if !errors.As(lanes[l].Err, &ce) || !errors.Is(lanes[l].Err, context.Canceled) {
+							t.Fatalf("injected cancel lane: got %v", lanes[l].Err)
+						}
+						var inj *network.ErrInjected
+						if !errors.As(lanes[l].Err, &inj) || inj.Kind != network.FaultCancel {
+							t.Fatalf("injected cancel lane not marked injected: %v", lanes[l].Err)
+						}
+						if wantErr == nil {
+							t.Fatalf("sequential run with fault seed did not fail")
+						}
+						continue
+					}
+					if !reflect.DeepEqual(wantErr, lanes[l].Err) {
+						t.Fatalf("seed %d: lane error %v, sequential %v", seed, lanes[l].Err, wantErr)
+					}
+					if wantErr == nil {
+						assertResultsEqual(t, seed, want, lanes[l].Res)
+					}
+				}
+				// The faulted batch must leave the instance reusable: a
+				// clean follow-up batch is byte-identical to sequential.
+				assertLanesMatchSequential(t, seq, bat, prog, seqProg, []uint64{7, 8, 9, 10}, width)
+			})
+		}
+	}
+}
+
+// TestRunBatchCancel cancels the shared context from inside a node at a
+// chosen round: every lane must abort as *ErrCanceled (transparent to
+// errors.Is on the context error), and the instance must be immediately
+// reusable with lanes byte-identical to sequential runs.
+func TestRunBatchCancel(t *testing.T) {
+	g := graph.CompleteBipartite(5, 5)
+	for _, engine := range engines {
+		t.Run(string(engine), func(t *testing.T) {
+			const width = 3
+			seq, bat := batchPair(t, g, engine, width, nil)
+			const rounds = 20
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			prog := &cancelProg{rounds: rounds, at: 6, cancel: cancel}
+			lanes, err := bat.RunBatch(ctx, prog, []uint64{1, 2, 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, lr := range lanes {
+				var ce *network.ErrCanceled
+				if !errors.As(lr.Err, &ce) {
+					t.Fatalf("lane %d: cancelled batch lane returned %v", l, lr.Err)
+				}
+				if !errors.Is(lr.Err, context.Canceled) {
+					t.Fatalf("lane %d: ErrCanceled does not unwrap to context.Canceled", l)
+				}
+				if ce.Round >= rounds {
+					t.Fatalf("lane %d: abort round %d did not cut the run short", l, ce.Round)
+				}
+			}
+			// A batch on an already-cancelled context runs nothing.
+			lanes, err = bat.RunBatch(ctx, prog, []uint64{4, 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, lr := range lanes {
+				var ce *network.ErrCanceled
+				if !errors.As(lr.Err, &ce) || ce.Round != 0 {
+					t.Fatalf("lane %d on dead context: %v", l, lr.Err)
+				}
+			}
+			// Recovery: clean lanes byte-identical to sequential.
+			tester := &core.Tester{K: 4, Reps: 2}
+			seqTester := &core.Tester{K: 4, Reps: 2}
+			assertLanesMatchSequential(t, seq, bat, tester, seqTester, []uint64{6, 7, 8}, width)
+		})
+	}
+}
+
+// TestRunBatchArgs pins the misuse surface: no seeds, too many seeds, and
+// the width-1 delegation path.
+func TestRunBatchArgs(t *testing.T) {
+	g := graph.Cycle(6)
+	seq, bat := batchPair(t, g, network.EngineBSP, 2, nil)
+	prog := &core.Tester{K: 4, Reps: 1}
+	if _, err := bat.RunBatch(context.Background(), prog, nil); err == nil {
+		t.Fatal("RunBatch with no seeds succeeded")
+	}
+	if _, err := bat.RunBatch(context.Background(), prog, []uint64{1, 2, 3}); err == nil {
+		t.Fatal("RunBatch beyond BatchWidth succeeded")
+	}
+	if got, want := bat.BatchWidth(), 2; got != want {
+		t.Fatalf("BatchWidth() = %d, want %d", got, want)
+	}
+	// A width-1 instance serves single-lane batches by delegation.
+	if got, want := seq.BatchWidth(), 1; got != want {
+		t.Fatalf("sequential BatchWidth() = %d, want %d", got, want)
+	}
+	lanes, err := seq.RunBatch(context.Background(), prog, []uint64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantErr := seq.RunProgramCtx(context.Background(), &core.Tester{K: 4, Reps: 1}, 9)
+	if wantErr != nil || lanes[0].Err != nil {
+		t.Fatalf("unexpected errors: %v / %v", wantErr, lanes[0].Err)
+	}
+	assertResultsEqual(t, 9, want, lanes[0].Res)
+	if _, err := seq.RunBatch(context.Background(), prog, []uint64{1, 2}); err == nil {
+		t.Fatal("2-lane RunBatch on width-1 instance succeeded")
+	}
+}
+
+// TestRunBatchAllocFree is the batched allocation regression: once the
+// lane slabs and cached nodes are warm, repeated RunBatch calls with the
+// same Program value must not allocate at all — on either engine. The
+// graph is Ck-free so no lane assembles a witness.
+func TestRunBatchAllocFree(t *testing.T) {
+	rng := xrand.New(5)
+	g := graph.RandomTree(64, rng)
+	for _, engine := range engines {
+		t.Run(string(engine), func(t *testing.T) {
+			c, err := network.Compile(g, network.CompileOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bat, err := c.NewInstance(network.InstanceOptions{Engine: engine, BatchWidth: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bat.Close()
+			prog := &core.Tester{K: 5, Reps: 4}
+			seeds := []uint64{1, 2, 3, 4}
+			for warm := 0; warm < 3; warm++ {
+				if _, err := bat.RunBatch(context.Background(), prog, seeds); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if _, err := bat.RunBatch(context.Background(), prog, seeds); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("warm RunBatch allocates %.1f times per call, want 0", avg)
+			}
+		})
+	}
+}

@@ -180,6 +180,15 @@ type Instance struct {
 	chWG      sync.WaitGroup
 	chRounds  int
 	abortRank atomic.Int64 // lowest failure rank so far; noAbort when clean
+
+	// Batched execution state (see batch.go); nil unless the instance was
+	// built with BatchWidth > 1. batchActive routes the woken channel-node
+	// goroutines into the batched round loop (written before the chStart
+	// wakeups, so the sends order it). laneOne is the width-1 RunBatch
+	// delegation's reusable result slice.
+	batch       *batchState
+	batchActive bool
+	laneOne     []LaneResult
 }
 
 // Network is the historical name of an Instance bundled with its own
@@ -441,7 +450,11 @@ func (nw *Instance) buildChannels() {
 		// goroutine first scheduled after that must not read the field.
 		go func(cn *chanNode, start <-chan struct{}) {
 			for range start {
-				cn.run()
+				if nw.batchActive {
+					cn.runBatch()
+				} else {
+					cn.run()
+				}
 				nw.chWG.Done()
 			}
 		}(&nw.chNodes[v], nw.chStart[v])

@@ -1,0 +1,92 @@
+package sweep
+
+// Batched-scheduler tests: Spec.BatchWidth must change only throughput,
+// never results. The sink-level pin runs one spec at several widths —
+// including widths that leave a remainder chunk and a width wider than the
+// trial count — and demands byte-identical CSV streams, because the rows
+// are what experiments archive and diff.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// batchSpec is a grid small enough to run in a unit test but rich enough
+// to exercise the batched path where it can diverge: both engines, a
+// cyclic graph (rejecting trials assemble witnesses) and a tree (clean
+// accepts), and a trial count chosen so the interesting widths leave a
+// non-empty remainder chunk.
+func batchSpec(width int) *Spec {
+	return &Spec{
+		Name: "batch",
+		Graphs: []GraphSpec{
+			{Family: "gnm", N: 32, M: 96},
+			{Family: "tree", N: 24},
+		},
+		K:          []int{5},
+		Eps:        []float64{0.2},
+		Engines:    []string{"bsp", "channels"},
+		Trials:     10,
+		Seed:       11,
+		BatchWidth: width,
+	}
+}
+
+// csvRows runs the spec and returns the full CSV stream (header + rows)
+// with the elapsed_ms column suppressed, so equality means every
+// deterministic field of every row matches byte for byte.
+func csvRows(t *testing.T, spec *Spec, pr *Progress) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewCSVSink(&buf)
+	sink.Elapsed = false
+	if _, err := RunCtxProgress(context.Background(), spec, nil, pr, sink); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepRowsStableAcrossBatchWidths is the remainder-path contract:
+// trial seeding is positional (trialSeed over the global trial index), so
+// batching trials 10 at a time, 4 at a time (two full chunks + a 2-lane
+// tail), 3 at a time (1-lane tail), or not at all must stream identical
+// sink bytes. Width 16 > trials additionally pins the clamp.
+func TestSweepRowsStableAcrossBatchWidths(t *testing.T) {
+	want := csvRows(t, batchSpec(0), nil)
+	if len(bytes.TrimSpace(want)) == 0 {
+		t.Fatal("reference sweep produced no rows")
+	}
+	for _, width := range []int{1, 3, 4, 10, 16} {
+		var pr Progress
+		got := csvRows(t, batchSpec(width), &pr)
+		if !bytes.Equal(got, want) {
+			t.Errorf("width %d: sink bytes differ from sequential reference\n--- got ---\n%s\n--- want ---\n%s",
+				width, got, want)
+		}
+		trials := pr.Trials.Load()
+		batched := pr.BatchedTrials.Load()
+		if width > 1 {
+			// Every trial of every job must have gone through RunBatch.
+			if batched != trials || trials == 0 {
+				t.Errorf("width %d: %d of %d trials batched, want all", width, batched, trials)
+			}
+		} else if batched != 0 {
+			t.Errorf("width %d: %d trials counted as batched on the sequential path", width, batched)
+		}
+	}
+}
+
+// TestSpecBatchWidthValidation: a negative width is a spec error; 0 and 1
+// (sequential) and any positive width validate.
+func TestSpecBatchWidthValidation(t *testing.T) {
+	s := batchSpec(-1)
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative batch width validated")
+	}
+	for _, w := range []int{0, 1, 64} {
+		if err := batchSpec(w).Validate(); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+	}
+}
